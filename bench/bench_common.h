@@ -1,0 +1,152 @@
+#ifndef CDPIPE_BENCH_BENCH_COMMON_H_
+#define CDPIPE_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/continuous_deployment.h"
+#include "src/core/deployment.h"
+#include "src/core/online_deployment.h"
+#include "src/core/periodical_deployment.h"
+#include "src/data/taxi_stream.h"
+#include "src/data/url_stream.h"
+
+namespace cdpipe {
+namespace bench {
+
+/// Tiny --key=value flag parser shared by the experiment binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A reproduction scenario: one of the paper's two dataset/pipeline pairs,
+/// scaled down so every figure regenerates in minutes.  `scale` multiplies
+/// the stream length (1.0 = default bench scale; the paper's full runs use
+/// 12,000+ chunks).
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string metric_label() const = 0;
+
+  virtual std::unique_ptr<Pipeline> MakePipeline() const = 0;
+  virtual std::unique_ptr<LinearModel> MakeModel() const = 0;
+  virtual std::unique_ptr<Metric> MakeMetric() const = 0;
+
+  /// Default optimizer config (the best from the Table-3 grid).
+  virtual OptimizerOptions DefaultOptimizer() const = 0;
+
+  /// Bootstrap (initial training) and deployment streams.
+  virtual std::vector<RawChunk> GenerateBootstrap() const = 0;
+  virtual std::vector<RawChunk> GenerateStream() const = 0;
+
+  size_t bootstrap_chunks() const { return bootstrap_chunks_; }
+  size_t stream_chunks() const { return stream_chunks_; }
+  size_t proactive_every_chunks() const { return proactive_every_chunks_; }
+  size_t proactive_sample_chunks() const { return proactive_sample_chunks_; }
+  size_t retrain_every_chunks() const { return retrain_every_chunks_; }
+  uint64_t seed() const { return seed_; }
+
+  BatchTrainer::Options InitialTrainOptions() const;
+  BatchTrainer::Options RetrainOptions() const;
+
+ protected:
+  size_t bootstrap_chunks_ = 40;
+  size_t stream_chunks_ = 480;
+  size_t proactive_every_chunks_ = 5;   ///< paper: every 5 min / 5 h
+  size_t proactive_sample_chunks_ = 20;
+  size_t retrain_every_chunks_ = 80;    ///< paper: every 10 days / monthly
+  uint64_t seed_ = 42;
+};
+
+/// The URL scenario: drifting sparse binary classification + SVM.
+class UrlScenario final : public Scenario {
+ public:
+  explicit UrlScenario(double scale = 1.0, uint64_t seed = 42);
+
+  std::string name() const override { return "URL"; }
+  std::string metric_label() const override { return "misclassification"; }
+  std::unique_ptr<Pipeline> MakePipeline() const override;
+  std::unique_ptr<LinearModel> MakeModel() const override;
+  std::unique_ptr<Metric> MakeMetric() const override;
+  OptimizerOptions DefaultOptimizer() const override;
+  std::vector<RawChunk> GenerateBootstrap() const override;
+  std::vector<RawChunk> GenerateStream() const override;
+
+  UrlPipelineConfig pipeline_config() const { return pipeline_config_; }
+  UrlStreamGenerator::Config stream_config() const { return stream_config_; }
+
+ private:
+  UrlPipelineConfig pipeline_config_;
+  UrlStreamGenerator::Config stream_config_;
+};
+
+/// The Taxi scenario: stationary dense regression + linear regression.
+class TaxiScenario final : public Scenario {
+ public:
+  explicit TaxiScenario(double scale = 1.0, uint64_t seed = 42);
+
+  std::string name() const override { return "Taxi"; }
+  std::string metric_label() const override { return "RMSLE"; }
+  std::unique_ptr<Pipeline> MakePipeline() const override;
+  std::unique_ptr<LinearModel> MakeModel() const override;
+  std::unique_ptr<Metric> MakeMetric() const override;
+  OptimizerOptions DefaultOptimizer() const override;
+  std::vector<RawChunk> GenerateBootstrap() const override;
+  std::vector<RawChunk> GenerateStream() const override;
+
+  TaxiStreamGenerator::Config stream_config() const { return stream_config_; }
+
+ private:
+  TaxiStreamGenerator::Config stream_config_;
+};
+
+std::unique_ptr<Scenario> MakeScenario(const std::string& name, double scale,
+                                       uint64_t seed);
+
+enum class StrategyKind { kOnline, kPeriodical, kContinuous };
+const char* StrategyName(StrategyKind kind);
+
+/// Extra knobs a specific experiment overrides on top of the scenario
+/// defaults.
+struct RunOverrides {
+  SamplerKind sampler = SamplerKind::kTime;
+  size_t sampler_window = 0;  ///< 0 = half the stream, set at run time
+  size_t max_materialized_chunks = SIZE_MAX;
+  bool online_statistics = true;
+  bool warm_start = true;
+  std::function<OptimizerOptions(OptimizerOptions)> tweak_optimizer;
+  std::function<LinearModel::Options(LinearModel::Options)> tweak_model;
+  std::function<BatchTrainer::Options(BatchTrainer::Options)> tweak_retrain;
+};
+
+/// Builds the strategy, runs initial training + the deployment stream, and
+/// returns the report.  Aborts on error (benchmark binaries).
+DeploymentReport RunDeployment(const Scenario& scenario, StrategyKind kind,
+                               const RunOverrides& overrides = {});
+
+/// Pretty-prints a downsampled quality/cost curve.
+void PrintCurve(const DeploymentReport& report, size_t points = 12);
+
+/// Prints a one-line summary row: strategy, final error, avg error, cost.
+void PrintSummaryRow(const std::string& label,
+                     const DeploymentReport& report);
+
+}  // namespace bench
+}  // namespace cdpipe
+
+#endif  // CDPIPE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,166 @@
+// Microbenchmark: per-component transform throughput (rows/second) for
+// every pipeline component, on representative batches.  Complements Table 1
+// of the paper — all components are O(p), so throughput should be flat in
+// batch size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/pipeline/anomaly_filter.h"
+#include "src/pipeline/column_projector.h"
+#include "src/pipeline/feature_hasher.h"
+#include "src/pipeline/input_parser.h"
+#include "src/pipeline/missing_value_imputer.h"
+#include "src/pipeline/one_hot_encoder.h"
+#include "src/pipeline/standard_scaler.h"
+#include "src/pipeline/taxi_feature_extractor.h"
+#include "src/pipeline/vector_assembler.h"
+
+namespace cdpipe {
+namespace {
+
+DataBatch MakeUrlRawBatch(size_t rows) {
+  UrlStreamGenerator::Config config;
+  config.feature_dim = 1u << 16;
+  config.initial_active_features = 3000;
+  config.records_per_chunk = rows;
+  UrlStreamGenerator generator(config);
+  return Pipeline::WrapRaw(generator.NextChunk());
+}
+
+DataBatch MakeTaxiRawBatch(size_t rows) {
+  TaxiStreamGenerator::Config config;
+  config.records_per_chunk = rows;
+  TaxiStreamGenerator generator(config);
+  return Pipeline::WrapRaw(generator.NextChunk());
+}
+
+DataBatch ParsedUrl(size_t rows) {
+  InputParser::Options options;
+  options.feature_dim = 1u << 16;
+  InputParser parser(options);
+  return std::move(parser.Transform(MakeUrlRawBatch(rows))).ValueOrDie();
+}
+
+DataBatch ParsedTaxi(size_t rows) {
+  InputParser::Options options;
+  options.format = InputParser::Format::kCsv;
+  options.csv_schema = TaxiRawSchema();
+  InputParser parser(options);
+  return std::move(parser.Transform(MakeTaxiRawBatch(rows))).ValueOrDie();
+}
+
+void BM_InputParserLibSvm(benchmark::State& state) {
+  InputParser::Options options;
+  options.feature_dim = 1u << 16;
+  InputParser parser(options);
+  const DataBatch batch = MakeUrlRawBatch(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Transform(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InputParserLibSvm)->Arg(64)->Arg(512);
+
+void BM_InputParserCsv(benchmark::State& state) {
+  InputParser::Options options;
+  options.format = InputParser::Format::kCsv;
+  options.csv_schema = TaxiRawSchema();
+  InputParser parser(options);
+  const DataBatch batch = MakeTaxiRawBatch(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Transform(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InputParserCsv)->Arg(64)->Arg(512);
+
+void BM_MissingValueImputer(benchmark::State& state) {
+  MissingValueImputer imputer;
+  const DataBatch batch = ParsedUrl(state.range(0));
+  (void)imputer.Update(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imputer.Transform(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MissingValueImputer)->Arg(64)->Arg(512);
+
+void BM_StandardScalerSparse(benchmark::State& state) {
+  StandardScaler scaler;
+  const DataBatch batch = ParsedUrl(state.range(0));
+  (void)scaler.Update(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scaler.Transform(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StandardScalerSparse)->Arg(64)->Arg(512);
+
+void BM_StandardScalerUpdate(benchmark::State& state) {
+  const DataBatch batch = ParsedUrl(state.range(0));
+  for (auto _ : state) {
+    StandardScaler scaler;
+    benchmark::DoNotOptimize(scaler.Update(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StandardScalerUpdate)->Arg(512);
+
+void BM_FeatureHasher(benchmark::State& state) {
+  FeatureHasher::Options options;
+  options.bits = 12;
+  FeatureHasher hasher(options);
+  const DataBatch batch = ParsedUrl(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Transform(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FeatureHasher)->Arg(64)->Arg(512);
+
+void BM_TaxiFeatureExtractor(benchmark::State& state) {
+  TaxiFeatureExtractor extractor;
+  const DataBatch batch = ParsedTaxi(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Transform(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TaxiFeatureExtractor)->Arg(64)->Arg(512);
+
+void BM_FullUrlPipelineTransform(benchmark::State& state) {
+  UrlPipelineConfig config;
+  config.raw_dim = 1u << 16;
+  config.hash_bits = 12;
+  auto pipeline = MakeUrlPipeline(config);
+  UrlStreamGenerator::Config stream_config;
+  stream_config.feature_dim = config.raw_dim;
+  stream_config.initial_active_features = 3000;
+  stream_config.records_per_chunk = state.range(0);
+  UrlStreamGenerator generator(stream_config);
+  const RawChunk chunk = generator.NextChunk();
+  (void)pipeline->UpdateAndTransform(chunk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline->Transform(chunk));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullUrlPipelineTransform)->Arg(64)->Arg(512);
+
+void BM_FullTaxiPipelineTransform(benchmark::State& state) {
+  auto pipeline = MakeTaxiPipeline();
+  TaxiStreamGenerator::Config stream_config;
+  stream_config.records_per_chunk = state.range(0);
+  TaxiStreamGenerator generator(stream_config);
+  const RawChunk chunk = generator.NextChunk();
+  (void)pipeline->UpdateAndTransform(chunk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline->Transform(chunk));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullTaxiPipelineTransform)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,80 @@
+// Figure 5 of the paper: do the hyperparameters chosen during initial
+// training remain the best during deployment?  For each learning-rate
+// adaptation technique we deploy the best-regularization configuration with
+// the continuous strategy over a 10% slice of the deployment stream and
+// compare prequential error.
+//
+// Expected shape: the per-technique ordering mirrors Table 3 — tuning done
+// offline carries over to the deployed, proactively trained model (§5.3).
+//
+// Flags: --scenario=url|taxi|both  --scale=1.0  --seed=42
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace cdpipe {
+namespace bench {
+namespace {
+
+void RunScenario(std::unique_ptr<Scenario> full) {
+  std::printf("\n=== Figure 5 — %s (%s during deployment) ===\n",
+              full->name().c_str(), full->metric_label().c_str());
+
+  const OptimizerKind kinds[] = {OptimizerKind::kAdam, OptimizerKind::kRmsprop,
+                                 OptimizerKind::kAdadelta};
+  const double regs[] = {1e-2, 1e-3, 1e-4};
+
+  for (OptimizerKind kind : kinds) {
+    double best_error = 1e99;
+    double best_reg = 0.0;
+    DeploymentReport best_report;
+    for (double reg : regs) {
+      RunOverrides overrides;
+      overrides.tweak_optimizer = [kind](OptimizerOptions options) {
+        options.kind = kind;
+        return options;
+      };
+      overrides.tweak_model = [reg](LinearModel::Options options) {
+        options.l2_reg = reg;
+        return options;
+      };
+      DeploymentReport report =
+          RunDeployment(*full, StrategyKind::kContinuous, overrides);
+      if (report.final_error < best_error) {
+        best_error = report.final_error;
+        best_reg = reg;
+        best_report = std::move(report);
+      }
+    }
+    std::printf(" best configuration for %s: reg=%g\n",
+                OptimizerKindName(kind), best_reg);
+    PrintSummaryRow(std::string(OptimizerKindName(kind)) + " (deployed)",
+                    best_report);
+    PrintCurve(best_report, 8);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cdpipe
+
+int main(int argc, char** argv) {
+  using namespace cdpipe::bench;
+  Flags flags(argc, argv);
+  // 10% of the remaining data (paper §5.3): a tenth of the fig-4 stream.
+  const double scale = flags.GetDouble("scale", 0.35);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string which = flags.GetString("scenario", "both");
+
+  std::printf(
+      "bench_fig5_deployment_tuning: hyperparameter carry-over to "
+      "deployment\n");
+  if (which == "url" || which == "both") {
+    RunScenario(std::make_unique<UrlScenario>(scale, seed));
+  }
+  if (which == "taxi" || which == "both") {
+    RunScenario(std::make_unique<TaxiScenario>(scale, seed));
+  }
+  return 0;
+}

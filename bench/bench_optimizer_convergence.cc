@@ -1,0 +1,86 @@
+// Microbenchmark: per-step cost of each learning-rate adaptation technique
+// (§2.1) on sparse gradients of varying density, plus the cost of one full
+// model update (gradient + step) — the unit of work of online learning and
+// proactive training alike.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/ml/linear_model.h"
+#include "src/ml/optimizer.h"
+
+namespace cdpipe {
+namespace {
+
+std::vector<GradEntry> MakeSparseGradient(size_t dim, size_t nnz,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GradEntry> grad;
+  grad.reserve(nnz);
+  for (size_t i : rng.SampleWithoutReplacement(dim, nnz)) {
+    grad.push_back(GradEntry{static_cast<uint32_t>(i), rng.NextGaussian()});
+  }
+  return grad;
+}
+
+void BM_OptimizerStep(benchmark::State& state, OptimizerKind kind) {
+  constexpr size_t kDim = 1u << 14;
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  OptimizerOptions options;
+  options.kind = kind;
+  options.learning_rate = 0.01;
+  auto optimizer = MakeOptimizer(options);
+  DenseVector weights(kDim);
+  double bias = 0.0;
+  const auto grad = MakeSparseGradient(kDim, nnz, 7);
+  for (auto _ : state) {
+    optimizer->Step(grad, 0.1, &weights, &bias);
+    benchmark::DoNotOptimize(weights.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+
+BENCHMARK_CAPTURE(BM_OptimizerStep, sgd, OptimizerKind::kSgd)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_OptimizerStep, momentum, OptimizerKind::kMomentum)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_OptimizerStep, adam, OptimizerKind::kAdam)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_OptimizerStep, rmsprop, OptimizerKind::kRmsprop)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_OptimizerStep, adadelta, OptimizerKind::kAdadelta)
+    ->Arg(64)
+    ->Arg(1024);
+
+/// One full mini-batch SGD iteration (gradient + step) over a URL-style
+/// sparse batch — the latency building block of proactive training.
+void BM_MiniBatchUpdate(benchmark::State& state) {
+  UrlStreamGenerator::Config config;
+  config.feature_dim = 1u << 16;
+  config.initial_active_features = 3000;
+  config.records_per_chunk = static_cast<size_t>(state.range(0));
+  UrlStreamGenerator generator(config);
+  UrlPipelineConfig pipe_config;
+  pipe_config.raw_dim = config.feature_dim;
+  pipe_config.hash_bits = 12;
+  auto pipeline = MakeUrlPipeline(pipe_config);
+  const FeatureData batch =
+      std::move(pipeline->UpdateAndTransform(generator.NextChunk()))
+          .ValueOrDie();
+
+  LinearModel model(MakeUrlModelOptions(pipe_config));
+  auto optimizer = MakeOptimizer(OptimizerOptions{
+      .kind = OptimizerKind::kAdam, .learning_rate = 0.01});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Update(batch, optimizer.get()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MiniBatchUpdate)->Arg(50)->Arg(500);
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,158 @@
+// Drift adaptation example: why proactive training beats pure online
+// learning when the distribution shifts.
+//
+// We build a stream with *abrupt* drift (the ground-truth hyperplane is
+// re-randomized mid-stream) and compare online vs continuous deployment
+// with the three sampling strategies.  Time-based/window sampling lets the
+// continuous platform rebuild the model from post-drift history quickly,
+// while uniform sampling keeps replaying stale pre-drift data.
+//
+//   ./drift_adaptation [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/core/continuous_deployment.h"
+#include "src/core/online_deployment.h"
+#include "src/data/url_stream.h"
+
+using namespace cdpipe;
+
+namespace {
+
+UrlStreamGenerator::Config ConfigWithSeed(uint64_t seed, double drift_step) {
+  UrlStreamGenerator::Config config;
+  config.feature_dim = 1u << 14;
+  config.initial_active_features = 300;
+  config.new_features_per_chunk = 0;
+  config.perturbed_weights_per_chunk = 50;
+  config.drift_step = drift_step;
+  config.nnz_per_record = 12;
+  config.records_per_chunk = 80;
+  config.margin_threshold = 1.5;
+  config.seed = seed;
+  return config;
+}
+
+/// Stream with an abrupt shift: first half from one generator, second half
+/// from a differently seeded generator (disjoint ground truth), with
+/// continuous chunk ids.
+std::vector<RawChunk> AbruptDriftStream(uint64_t seed, size_t half) {
+  UrlStreamGenerator before(ConfigWithSeed(seed, 0.0));
+  UrlStreamGenerator after(ConfigWithSeed(seed + 1000, 0.0));
+  std::vector<RawChunk> stream = before.Generate(half);
+  std::vector<RawChunk> tail = after.Generate(half);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    tail[i].id = static_cast<ChunkId>(half + i);
+    tail[i].event_time_seconds = static_cast<int64_t>((half + i) * 60);
+    stream.push_back(std::move(tail[i]));
+  }
+  return stream;
+}
+
+UrlPipelineConfig PipeConfig() {
+  UrlPipelineConfig config;
+  config.raw_dim = 1u << 14;
+  config.hash_bits = 10;
+  return config;
+}
+
+DeploymentReport Run(std::unique_ptr<Deployment> deployment,
+                     const std::vector<RawChunk>& bootstrap,
+                     const std::vector<RawChunk>& stream) {
+  Status init = deployment->InitialTrain(
+      bootstrap, BatchTrainer::Options{.max_epochs = 40, .batch_size = 200,
+                                       .tolerance = 1e-4});
+  if (!init.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", init.ToString().c_str());
+    std::exit(1);
+  }
+  auto report = deployment->Run(stream);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(report).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::atoll(argv[1]) : 5;
+  constexpr size_t kHalf = 120;
+
+  UrlStreamGenerator bootstrap_generator(ConfigWithSeed(seed, 0.0));
+  const std::vector<RawChunk> bootstrap_src = bootstrap_generator.Generate(20);
+  // Re-id the deployment stream after the bootstrap prefix.
+  std::vector<RawChunk> stream = AbruptDriftStream(seed, kHalf);
+  for (RawChunk& chunk : stream) {
+    chunk.id += static_cast<ChunkId>(bootstrap_src.size());
+  }
+
+  const UrlPipelineConfig pipe_config = PipeConfig();
+  auto make_model = [&] {
+    return std::make_unique<LinearModel>(MakeUrlModelOptions(pipe_config));
+  };
+  auto make_optimizer = [] {
+    return MakeOptimizer(OptimizerOptions{.kind = OptimizerKind::kAdam,
+                                          .learning_rate = 0.005});
+  };
+
+  std::printf(
+      "abrupt drift at chunk %zu: comparing recovery (windowed error after "
+      "the shift)\n\n",
+      kHalf);
+
+  struct Row {
+    std::string label;
+    DeploymentReport report;
+  };
+  std::vector<Row> rows;
+
+  {
+    Deployment::Options options;
+    options.seed = seed;
+    options.eval_window = 1000;
+    rows.push_back({"online", Run(std::make_unique<OnlineDeployment>(
+                                      std::move(options),
+                                      MakeUrlPipeline(pipe_config),
+                                      make_model(), make_optimizer(),
+                                      std::make_unique<MisclassificationRate>()),
+                                  bootstrap_src, stream)});
+  }
+  for (SamplerKind kind :
+       {SamplerKind::kUniform, SamplerKind::kWindow, SamplerKind::kTime}) {
+    Deployment::Options options;
+    options.seed = seed;
+    options.eval_window = 1000;
+    options.sampler = kind;
+    options.sampler_window = 40;  // short window: adapts fast
+    ContinuousDeployment::ContinuousOptions continuous;
+    continuous.proactive_every_chunks = 4;
+    continuous.sample_chunks = 12;
+    rows.push_back(
+        {std::string("continuous/") + SamplerKindName(kind),
+         Run(std::make_unique<ContinuousDeployment>(
+                 std::move(options), std::move(continuous),
+                 MakeUrlPipeline(pipe_config), make_model(), make_optimizer(),
+                 std::make_unique<MisclassificationRate>()),
+             bootstrap_src, stream)});
+  }
+
+  std::printf("%-24s %12s %14s %16s\n", "deployment", "final_err",
+              "err@pre-drift", "err@post-drift(win)");
+  for (const Row& row : rows) {
+    const auto& curve = row.report.curve;
+    const double pre = curve[kHalf - 1].cumulative_error;
+    const double post_windowed = curve.back().windowed_error;
+    std::printf("%-24s %12.4f %14.4f %16.4f\n", row.label.c_str(),
+                row.report.final_error, pre, post_windowed);
+  }
+  std::printf(
+      "\nreading: all deployments are equal before the shift; after it, the "
+      "window/time-biased continuous deployments recover fastest because "
+      "proactive training replays mostly post-drift chunks.\n");
+  return 0;
+}

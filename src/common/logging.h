@@ -1,0 +1,80 @@
+#ifndef CDPIPE_COMMON_LOGGING_H_
+#define CDPIPE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cdpipe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.  Defaults to
+/// kWarning so library internals stay quiet in tests and benchmarks.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: `LogMessage(kInfo, __FILE__, __LINE__) << ...`.
+/// The destructor flushes the accumulated line to stderr if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Log sink that aborts the process after flushing; used by CHECK failures.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CDPIPE_LOG(level)                                                  \
+  ::cdpipe::internal::LogMessage(::cdpipe::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+/// Invariant check for programmer errors (not data errors — those use
+/// Status).  Always on, including release builds: a violated invariant in a
+/// storage or training loop must not silently corrupt results.
+#define CDPIPE_CHECK(cond)                                              \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::cdpipe::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define CDPIPE_CHECK_EQ(a, b) CDPIPE_CHECK((a) == (b))
+#define CDPIPE_CHECK_NE(a, b) CDPIPE_CHECK((a) != (b))
+#define CDPIPE_CHECK_LT(a, b) CDPIPE_CHECK((a) < (b))
+#define CDPIPE_CHECK_LE(a, b) CDPIPE_CHECK((a) <= (b))
+#define CDPIPE_CHECK_GT(a, b) CDPIPE_CHECK((a) > (b))
+#define CDPIPE_CHECK_GE(a, b) CDPIPE_CHECK((a) >= (b))
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_COMMON_LOGGING_H_

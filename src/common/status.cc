@@ -1,0 +1,48 @@
+#include "src/common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdpipe {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void DieOnError(const Status& status) {
+  std::fprintf(stderr, "[cdpipe] fatal: %s\n", status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cdpipe

@@ -1,0 +1,161 @@
+#ifndef CDPIPE_COMMON_STATUS_H_
+#define CDPIPE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cdpipe {
+
+/// Error categories used across the library.  Modeled after the
+/// Arrow/RocksDB status idiom: library code never throws; fallible
+/// operations return `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message describing what went wrong and (by convention) which argument or
+/// state caused it.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// A value-or-status holder, the return type of fallible factories and
+/// accessors.  `ValueOrDie()` aborts on error and is intended for tests and
+/// examples; production call-sites should check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path reads naturally:
+  /// `return some_value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or aborts with the status message.
+  T ValueOrDie() &&;
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnError(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnError(status_);
+  return std::move(*value_);
+}
+
+/// Propagates a non-OK status to the caller.
+#define CDPIPE_RETURN_NOT_OK(expr)                   \
+  do {                                               \
+    ::cdpipe::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#define CDPIPE_CONCAT_IMPL(a, b) a##b
+#define CDPIPE_CONCAT(a, b) CDPIPE_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, propagating
+/// errors: `CDPIPE_ASSIGN_OR_RETURN(auto v, MakeV());`
+#define CDPIPE_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto CDPIPE_CONCAT(_result_, __LINE__) = (rexpr);                   \
+  if (!CDPIPE_CONCAT(_result_, __LINE__).ok())                        \
+    return CDPIPE_CONCAT(_result_, __LINE__).status();                \
+  lhs = std::move(CDPIPE_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_COMMON_STATUS_H_

@@ -1,0 +1,6 @@
+#include "src/common/stopwatch.h"
+
+// Header-only for now; this translation unit anchors the target so the
+// library always has at least one symbol per module.
+
+namespace cdpipe {}  // namespace cdpipe

@@ -1,0 +1,177 @@
+#include "src/common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cdpipe {
+
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          char delimiter) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  input = StripWhitespace(input);
+  // std::from_chars rejects an explicit '+' sign; accept it here ("+1" is
+  // the canonical positive label in libsvm files).
+  if (!input.empty() && input[0] == '+') input.remove_prefix(1);
+  if (input.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  double value = 0.0;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not a double: '" + std::string(input) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view input) {
+  input = StripWhitespace(input);
+  if (!input.empty() && input[0] == '+') input.remove_prefix(1);
+  if (input.empty()) {
+    return Status::InvalidArgument("empty string is not an int64");
+  }
+  int64_t value = 0;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not an int64: '" + std::string(input) +
+                                   "'");
+  }
+  return value;
+}
+
+namespace {
+
+bool IsLeapYear(int64_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+// Days from 1970-01-01 to year-month-day (civil calendar), from Howard
+// Hinnant's algorithms.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, int64_t* m, int64_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+}  // namespace
+
+Result<int64_t> ParseDateTime(std::string_view input) {
+  input = StripWhitespace(input);
+  // Expected: "YYYY-MM-DD hh:mm:ss" (19 chars).
+  if (input.size() != 19 || input[4] != '-' || input[7] != '-' ||
+      input[10] != ' ' || input[13] != ':' || input[16] != ':') {
+    return Status::InvalidArgument("not a datetime: '" + std::string(input) +
+                                   "'");
+  }
+  auto field = [&](size_t pos, size_t len) -> Result<int64_t> {
+    return ParseInt64(input.substr(pos, len));
+  };
+  CDPIPE_ASSIGN_OR_RETURN(int64_t year, field(0, 4));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t month, field(5, 2));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t day, field(8, 2));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t hour, field(11, 2));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t minute, field(14, 2));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t second, field(17, 2));
+  static constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12 || day < 1 || hour > 23 || minute > 59 ||
+      second > 59 || hour < 0 || minute < 0 || second < 0) {
+    return Status::InvalidArgument("datetime field out of range: '" +
+                                   std::string(input) + "'");
+  }
+  int64_t dim = kDaysInMonth[month - 1];
+  if (month == 2 && IsLeapYear(year)) dim = 29;
+  if (day > dim) {
+    return Status::InvalidArgument("day out of range: '" + std::string(input) +
+                                   "'");
+  }
+  return DaysFromCivil(year, month, day) * 86400 + hour * 3600 + minute * 60 +
+         second;
+}
+
+std::string FormatDateTime(int64_t unix_seconds) {
+  int64_t days = unix_seconds / 86400;
+  int64_t rem = unix_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  int64_t y = 0;
+  int64_t m = 0;
+  int64_t d = 0;
+  CivilFromDays(days, &y, &m, &d);
+  return StrFormat("%04lld-%02lld-%02lld %02lld:%02lld:%02lld",
+                   static_cast<long long>(y), static_cast<long long>(m),
+                   static_cast<long long>(d),
+                   static_cast<long long>(rem / 3600),
+                   static_cast<long long>((rem / 60) % 60),
+                   static_cast<long long>(rem % 60));
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace cdpipe

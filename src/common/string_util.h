@@ -1,0 +1,37 @@
+#ifndef CDPIPE_COMMON_STRING_UTIL_H_
+#define CDPIPE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpipe {
+
+/// Splits `input` on `delimiter`, keeping empty fields (CSV semantics).
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Locale-independent numeric parsing.
+Result<double> ParseDouble(std::string_view input);
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Parses "YYYY-MM-DD hh:mm:ss" into seconds since 1970-01-01 00:00:00 UTC
+/// (proleptic Gregorian, no leap seconds).  This is the format of NYC taxi
+/// trip records.
+Result<int64_t> ParseDateTime(std::string_view input);
+
+/// Inverse of ParseDateTime.
+std::string FormatDateTime(int64_t unix_seconds);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_COMMON_STRING_UTIL_H_

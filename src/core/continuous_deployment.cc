@@ -1,0 +1,99 @@
+#include "src/core/continuous_deployment.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+ContinuousDeployment::ContinuousDeployment(
+    Options options, ContinuousOptions continuous_options,
+    std::unique_ptr<Pipeline> pipeline, std::unique_ptr<LinearModel> model,
+    std::unique_ptr<Optimizer> optimizer, std::unique_ptr<Metric> metric)
+    : Deployment("continuous", std::move(options), std::move(pipeline),
+                 std::move(model), std::move(optimizer), std::move(metric)),
+      continuous_options_(std::move(continuous_options)),
+      trainer_(&pipeline_manager(), &engine()) {
+  CDPIPE_CHECK_GT(continuous_options_.proactive_every_chunks, 0u);
+  CDPIPE_CHECK_GT(continuous_options_.sample_chunks, 0u);
+}
+
+bool ContinuousDeployment::ProactiveDue(size_t stream_index,
+                                        const RawChunk& chunk) {
+  if (continuous_options_.scheduler != nullptr) {
+    return continuous_options_.scheduler->ShouldTrain(
+        static_cast<double>(chunk.event_time_seconds));
+  }
+  return (stream_index + 1) % continuous_options_.proactive_every_chunks == 0;
+}
+
+Status ContinuousDeployment::AfterChunk(size_t stream_index,
+                                        const RawChunk& chunk,
+                                        const ChunkOutcome& outcome) {
+  // Concept-drift alleviation: watch the per-chunk prequential error and
+  // react immediately with a burst of recency-focused proactive training.
+  if (continuous_options_.drift_detector != nullptr && outcome.rows > 0) {
+    const DriftState state =
+        continuous_options_.drift_detector->Observe(
+            outcome.mean_error_signal);
+    if (state == DriftState::kDrift) {
+      ++drift_events_;
+      CDPIPE_RETURN_NOT_OK(RunDriftBurst());
+      continuous_options_.drift_detector->Reset();
+    }
+  }
+
+  // Feed the dynamic scheduler the measured prediction load (§4.1: pr =
+  // queries per second of event time, pl = seconds per query).
+  if (continuous_options_.scheduler != nullptr && outcome.rows > 0 &&
+      outcome.event_period_seconds > 0.0) {
+    continuous_options_.scheduler->OnPredictionLoad(
+        static_cast<double>(outcome.rows) / outcome.event_period_seconds,
+        outcome.prediction_seconds / static_cast<double>(outcome.rows));
+  }
+
+  if (!ProactiveDue(stream_index, chunk)) return Status::OK();
+
+  CDPIPE_ASSIGN_OR_RETURN(
+      DataManager::SampleSet sample,
+      data_manager().SampleForTraining(continuous_options_.sample_chunks,
+                                       &rng()));
+  CDPIPE_RETURN_NOT_OK(trainer_.RunIteration(sample));
+
+  if (continuous_options_.scheduler != nullptr) {
+    continuous_options_.scheduler->OnTrainingCompleted(
+        static_cast<double>(chunk.event_time_seconds),
+        trainer_.stats().last_duration_seconds);
+  }
+  return Status::OK();
+}
+
+Status ContinuousDeployment::RunDriftBurst() {
+  // Sample only from the freshest chunks — they reflect the new concept.
+  WindowSampler window(continuous_options_.drift_window_chunks);
+  for (size_t i = 0; i < continuous_options_.drift_burst_iterations; ++i) {
+    const std::vector<ChunkId> live = data_manager().store().LiveIds();
+    const std::vector<ChunkId> picked = window.Sample(
+        live, continuous_options_.sample_chunks, &rng());
+    DataManager::SampleSet sample;
+    for (ChunkId id : picked) {
+      data_manager().mutable_store().RecordSampleAccess(id);
+      if (const FeatureChunk* features =
+              data_manager().store().GetFeatures(id)) {
+        sample.materialized.push_back(features);
+      } else if (const RawChunk* raw = data_manager().store().GetRaw(id)) {
+        sample.to_rematerialize.push_back(raw);
+      }
+    }
+    CDPIPE_RETURN_NOT_OK(trainer_.RunIteration(sample));
+  }
+  return Status::OK();
+}
+
+void ContinuousDeployment::FillReport(DeploymentReport* report) const {
+  report->proactive_iterations = trainer_.stats().iterations;
+  report->average_proactive_seconds = trainer_.stats().AverageDurationSeconds();
+  report->drift_events = drift_events_;
+}
+
+}  // namespace cdpipe

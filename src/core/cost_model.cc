@@ -1,0 +1,82 @@
+#include "src/core/cost_model.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+const char* CostPhaseName(CostPhase phase) {
+  switch (phase) {
+    case CostPhase::kPreprocessing:
+      return "preprocessing";
+    case CostPhase::kOnlineTraining:
+      return "online-training";
+    case CostPhase::kProactiveTraining:
+      return "proactive-training";
+    case CostPhase::kRetraining:
+      return "retraining";
+    case CostPhase::kMaterialization:
+      return "materialization";
+    case CostPhase::kPrediction:
+      return "prediction";
+    case CostPhase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+void CostModel::AddSeconds(CostPhase phase, double seconds) {
+  seconds_[static_cast<size_t>(phase)] += seconds;
+}
+
+void CostModel::AddWork(CostPhase phase, int64_t rows) {
+  work_[static_cast<size_t>(phase)] += rows;
+}
+
+double CostModel::SecondsIn(CostPhase phase) const {
+  return seconds_[static_cast<size_t>(phase)];
+}
+
+int64_t CostModel::WorkIn(CostPhase phase) const {
+  return work_[static_cast<size_t>(phase)];
+}
+
+double CostModel::TotalSeconds() const {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+int64_t CostModel::TotalWork() const {
+  int64_t total = 0;
+  for (int64_t w : work_) total += w;
+  return total;
+}
+
+double CostModel::TrainingSeconds() const {
+  return SecondsIn(CostPhase::kOnlineTraining) +
+         SecondsIn(CostPhase::kProactiveTraining) +
+         SecondsIn(CostPhase::kRetraining);
+}
+
+void CostModel::Reset() {
+  seconds_.fill(0.0);
+  work_.fill(0);
+}
+
+std::string CostModel::ToString() const {
+  std::string out = "Cost{";
+  bool first = true;
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    if (seconds_[i] == 0.0 && work_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("%s: %.3fs/%lld rows",
+                     CostPhaseName(static_cast<CostPhase>(i)), seconds_[i],
+                     static_cast<long long>(work_[i]));
+  }
+  out += StrFormat("; total %.3fs}", TotalSeconds());
+  return out;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,67 @@
+#include "src/core/data_manager.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+DataManager::DataManager(ChunkStore::Options store_options,
+                         std::unique_ptr<Sampler> sampler)
+    : store_(store_options), sampler_(std::move(sampler)) {
+  CDPIPE_CHECK(sampler_ != nullptr);
+}
+
+Result<ChunkId> DataManager::IngestRecords(std::vector<std::string> records,
+                                           int64_t event_time_seconds) {
+  RawChunk chunk;
+  chunk.id = next_id_;
+  chunk.event_time_seconds = event_time_seconds;
+  chunk.records = std::move(records);
+  CDPIPE_RETURN_NOT_OK(store_.PutRaw(std::move(chunk)));
+  return next_id_++;
+}
+
+Status DataManager::IngestChunk(RawChunk chunk) {
+  if (chunk.id < next_id_) {
+    return Status::InvalidArgument(
+        "chunk id " + std::to_string(chunk.id) +
+        " is not beyond the last assigned id " + std::to_string(next_id_ - 1));
+  }
+  next_id_ = chunk.id + 1;
+  return store_.PutRaw(std::move(chunk));
+}
+
+Status DataManager::StoreFeatures(FeatureChunk chunk) {
+  return store_.PutFeatures(std::move(chunk));
+}
+
+Result<DataManager::SampleSet> DataManager::SampleForTraining(
+    size_t sample_size, Rng* rng) {
+  CDPIPE_CHECK(rng != nullptr);
+  if (store_.num_raw() == 0) {
+    return Status::FailedPrecondition("no chunks available to sample");
+  }
+  const std::vector<ChunkId> live = store_.LiveIds();
+  const std::vector<ChunkId> picked = sampler_->Sample(live, sample_size, rng);
+  SampleSet out;
+  out.materialized.reserve(picked.size());
+  for (ChunkId id : picked) {
+    store_.RecordSampleAccess(id);
+    if (const FeatureChunk* features = store_.GetFeatures(id)) {
+      out.materialized.push_back(features);
+    } else {
+      const RawChunk* raw = store_.GetRaw(id);
+      CDPIPE_CHECK(raw != nullptr) << "sampler returned a dead chunk id";
+      out.to_rematerialize.push_back(raw);
+    }
+  }
+  return out;
+}
+
+void DataManager::set_sampler(std::unique_ptr<Sampler> sampler) {
+  CDPIPE_CHECK(sampler != nullptr);
+  sampler_ = std::move(sampler);
+}
+
+}  // namespace cdpipe

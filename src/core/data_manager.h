@@ -1,0 +1,71 @@
+#ifndef CDPIPE_CORE_DATA_MANAGER_H_
+#define CDPIPE_CORE_DATA_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+#include "src/sampling/sampler.h"
+#include "src/storage/chunk_store.h"
+
+namespace cdpipe {
+
+/// The platform's data manager (paper §4.2): discretizes incoming training
+/// data into timestamped chunks, stores raw and feature chunks, and serves
+/// samples for proactive training, distinguishing chunks that are
+/// materialized from those that must be re-materialized.
+class DataManager {
+ public:
+  /// The result of one sampling operation: which sampled chunks can be used
+  /// directly and which must be re-materialized from their raw chunks.
+  struct SampleSet {
+    std::vector<const FeatureChunk*> materialized;
+    std::vector<const RawChunk*> to_rematerialize;
+
+    size_t num_chunks() const {
+      return materialized.size() + to_rematerialize.size();
+    }
+  };
+
+  DataManager(ChunkStore::Options store_options,
+              std::unique_ptr<Sampler> sampler);
+
+  /// Discretization (workflow step 1): wraps `records` into a chunk with the
+  /// next timestamp id and appends it to the raw log.  Returns the id.
+  Result<ChunkId> IngestRecords(std::vector<std::string> records,
+                                int64_t event_time_seconds);
+
+  /// Appends an externally discretized chunk; its id must exceed all ids
+  /// ingested so far.
+  Status IngestChunk(RawChunk chunk);
+
+  /// Stores a transformed feature chunk (workflow step 2).
+  Status StoreFeatures(FeatureChunk chunk);
+
+  /// Workflow steps 3-4: samples `sample_size` chunks using the configured
+  /// strategy and splits them by materialization status.  Records hit/miss
+  /// counters for the μ accounting.  Pointers remain valid until the next
+  /// mutation of the store.
+  Result<SampleSet> SampleForTraining(size_t sample_size, Rng* rng);
+
+  const ChunkStore& store() const { return store_; }
+  ChunkStore& mutable_store() { return store_; }
+  const Sampler& sampler() const { return *sampler_; }
+
+  /// Swaps the sampling strategy (e.g. mid-experiment ablations).
+  void set_sampler(std::unique_ptr<Sampler> sampler);
+
+  ChunkId next_id() const { return next_id_; }
+
+ private:
+  ChunkStore store_;
+  std::unique_ptr<Sampler> sampler_;
+  ChunkId next_id_ = 0;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_DATA_MANAGER_H_

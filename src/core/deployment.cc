@@ -1,0 +1,130 @@
+#include "src/core/deployment.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+Deployment::Deployment(std::string strategy_name, Options options,
+                       std::unique_ptr<Pipeline> pipeline,
+                       std::unique_ptr<LinearModel> model,
+                       std::unique_ptr<Optimizer> optimizer,
+                       std::unique_ptr<Metric> metric)
+    : strategy_name_(std::move(strategy_name)),
+      options_(std::move(options)),
+      data_manager_(options_.store,
+                    MakeSampler(options_.sampler, options_.sampler_window)),
+      engine_(options_.engine_threads),
+      pipeline_manager_(std::make_unique<PipelineManager>(
+          std::move(pipeline), std::move(model), std::move(optimizer), &cost_,
+          PipelineManager::Options{options_.online_statistics})),
+      metric_prototype_(std::move(metric)),
+      rng_(options_.seed) {
+  CDPIPE_CHECK(metric_prototype_ != nullptr);
+}
+
+Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
+                                const BatchTrainer::Options& train_options) {
+  // Preprocess with statistics updates and keep the features for training.
+  std::vector<FeatureChunk> transformed;
+  transformed.reserve(bootstrap.size());
+  for (const RawChunk& chunk : bootstrap) {
+    CDPIPE_RETURN_NOT_OK(data_manager_.IngestChunk(chunk));
+    CDPIPE_ASSIGN_OR_RETURN(
+        FeatureChunk features,
+        pipeline_manager_->OnlineStep(chunk, /*evaluator=*/nullptr,
+                                      /*online_learn=*/false));
+    transformed.push_back(std::move(features));
+  }
+  std::vector<const FeatureData*> parts;
+  parts.reserve(transformed.size());
+  for (const FeatureChunk& chunk : transformed) parts.push_back(&chunk.data);
+
+  BatchTrainer trainer(train_options);
+  CDPIPE_ASSIGN_OR_RETURN(
+      BatchTrainer::Stats stats,
+      trainer.Train(parts, pipeline_manager_->mutable_model(),
+                    pipeline_manager_->mutable_optimizer(), &rng_));
+  initial_training_epochs_ = stats.epochs_run;
+
+  // The bootstrap chunks become historical data available for sampling.
+  for (FeatureChunk& chunk : transformed) {
+    CDPIPE_RETURN_NOT_OK(data_manager_.StoreFeatures(std::move(chunk)));
+  }
+  // Initial training is not part of the deployment cost.
+  cost_.Reset();
+  return Status::OK();
+}
+
+Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
+  cost_.Reset();
+  data_manager_.mutable_store().ResetCounters();
+  PrequentialEvaluator evaluator(metric_prototype_->Clone(),
+                                 options_.eval_window);
+
+  DeploymentReport report;
+  report.strategy = strategy_name_;
+  report.metric_name = metric_prototype_->name();
+  report.curve.reserve(stream.size());
+
+  double sum_cumulative_error = 0.0;
+  int64_t previous_event_time = stream.empty() ? 0 : stream[0].event_time_seconds;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const RawChunk& chunk = stream[i];
+    CDPIPE_RETURN_NOT_OK(data_manager_.IngestChunk(chunk));
+    // The store owns the canonical copy; process that one.
+    const RawChunk* stored = data_manager_.store().GetRaw(chunk.id);
+    CDPIPE_CHECK(stored != nullptr);
+
+    const int64_t count_before = evaluator.Count();
+    const double mass_before = evaluator.AggregateMass();
+    const double prediction_seconds_before =
+        cost_.SecondsIn(CostPhase::kPrediction);
+    CDPIPE_ASSIGN_OR_RETURN(
+        FeatureChunk features,
+        pipeline_manager_->OnlineStep(*stored, &evaluator,
+                                      options_.online_learning));
+    CDPIPE_RETURN_NOT_OK(data_manager_.StoreFeatures(std::move(features)));
+
+    ChunkOutcome outcome;
+    outcome.rows = evaluator.Count() - count_before;
+    outcome.mean_error_signal =
+        outcome.rows > 0 ? (evaluator.AggregateMass() - mass_before) /
+                               static_cast<double>(outcome.rows)
+                         : 0.0;
+    outcome.prediction_seconds =
+        cost_.SecondsIn(CostPhase::kPrediction) - prediction_seconds_before;
+    outcome.event_period_seconds = static_cast<double>(
+        chunk.event_time_seconds - previous_event_time);
+    previous_event_time = chunk.event_time_seconds;
+    CDPIPE_RETURN_NOT_OK(AfterChunk(i, *stored, outcome));
+
+    DeploymentReport::PointRow row;
+    row.chunk_index = static_cast<int64_t>(i);
+    row.observations = evaluator.Count();
+    row.cumulative_error = evaluator.CumulativeValue();
+    row.windowed_error = evaluator.WindowedValue();
+    row.cumulative_seconds = cost_.TotalSeconds();
+    row.cumulative_work = cost_.TotalWork();
+    report.curve.push_back(row);
+    sum_cumulative_error += row.cumulative_error;
+  }
+
+  report.final_error = evaluator.CumulativeValue();
+  report.average_error =
+      stream.empty() ? 0.0
+                     : sum_cumulative_error /
+                           static_cast<double>(stream.size());
+  report.total_seconds = cost_.TotalSeconds();
+  report.total_work = cost_.TotalWork();
+  report.cost = cost_;
+  report.storage = data_manager_.store().counters();
+  report.empirical_mu = report.storage.EmpiricalMu();
+  report.chunks_processed = static_cast<int64_t>(stream.size());
+  report.initial_training_epochs = initial_training_epochs_;
+  FillReport(&report);
+  return report;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,122 @@
+#ifndef CDPIPE_CORE_DEPLOYMENT_H_
+#define CDPIPE_CORE_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/cost_model.h"
+#include "src/core/data_manager.h"
+#include "src/core/pipeline_manager.h"
+#include "src/core/report.h"
+#include "src/engine/execution_engine.h"
+#include "src/ml/metrics.h"
+#include "src/ml/prequential.h"
+#include "src/ml/trainer.h"
+#include "src/sampling/sampler.h"
+
+namespace cdpipe {
+
+/// Base driver for the three deployment approaches compared in §5.2.
+///
+/// The shared replay protocol per incoming chunk (the paper's "deployment
+/// process", §5.1):
+///   1. the data manager discretizes/stores the raw chunk,
+///   2. the pipeline manager runs the online path: statistics update +
+///      transform, prequential test-then-train evaluation, and (for every
+///      strategy) an online SGD update,
+///   3. the transformed feature chunk is stored (materialized),
+///   4. the strategy hook runs (nothing / proactive training / periodic
+///      full retraining),
+///   5. quality and cost are snapshotted into the report curve.
+class Deployment {
+ public:
+  struct Options {
+    /// Storage bounds (N and m of §3.2.2).
+    ChunkStore::Options store;
+    /// Sampling strategy for proactive training.
+    SamplerKind sampler = SamplerKind::kUniform;
+    size_t sampler_window = 0;  ///< window sampler only
+    /// Online statistics computation + feature reuse (§3.1, §5.4 toggle).
+    bool online_statistics = true;
+    /// Online SGD on each arriving chunk (all three strategies do this).
+    bool online_learning = true;
+    /// Sliding-window size (observations) for the windowed quality curve.
+    size_t eval_window = 20000;
+    uint64_t seed = 42;
+    /// Worker threads for re-materialization fan-out (1 = deterministic).
+    size_t engine_threads = 1;
+  };
+
+  Deployment(std::string strategy_name, Options options,
+             std::unique_ptr<Pipeline> pipeline,
+             std::unique_ptr<LinearModel> model,
+             std::unique_ptr<Optimizer> optimizer,
+             std::unique_ptr<Metric> metric);
+  virtual ~Deployment() = default;
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// Trains the initial model over `bootstrap` chunks (pipeline statistics
+  /// are folded in; chunks are ingested into the store as historical data).
+  /// Mirrors the paper's initial training on day 0 / Jan-2015.  Not counted
+  /// in the deployment cost.
+  Status InitialTrain(const std::vector<RawChunk>& bootstrap,
+                      const BatchTrainer::Options& train_options);
+
+  /// Replays the deployment stream and produces the report.  Cost counters
+  /// and μ accounting start from zero at the beginning of the replay.
+  Result<DeploymentReport> Run(const std::vector<RawChunk>& stream);
+
+  const std::string& strategy_name() const { return strategy_name_; }
+  const PipelineManager& pipeline_manager() const { return *pipeline_manager_; }
+  const DataManager& data_manager() const { return data_manager_; }
+  const CostModel& cost() const { return cost_; }
+
+  /// Per-chunk outcome handed to the strategy hook: how many prediction
+  /// queries the chunk contributed and their mean error signal (error
+  /// fraction for classification, mean squared error for regression) —
+  /// the input of drift detectors.
+  struct ChunkOutcome {
+    int64_t rows = 0;
+    double mean_error_signal = 0.0;
+    /// Wall-clock seconds spent answering this chunk's prediction queries.
+    double prediction_seconds = 0.0;
+    /// Event-time seconds since the previous chunk (the arrival period).
+    double event_period_seconds = 0.0;
+  };
+
+ protected:
+  /// Strategy hook, invoked after the online path of each chunk.
+  /// `stream_index` counts chunks within the current Run (0-based).
+  virtual Status AfterChunk(size_t stream_index, const RawChunk& chunk,
+                            const ChunkOutcome& outcome) = 0;
+
+  /// Lets strategies contribute their counters to the final report.
+  virtual void FillReport(DeploymentReport* report) const { (void)report; }
+
+  PipelineManager& pipeline_manager() { return *pipeline_manager_; }
+  DataManager& data_manager() { return data_manager_; }
+  ExecutionEngine& engine() { return engine_; }
+  CostModel& cost() { return cost_; }
+  Rng& rng() { return rng_; }
+  const Options& options() const { return options_; }
+
+ private:
+  std::string strategy_name_;
+  Options options_;
+  CostModel cost_;
+  DataManager data_manager_;
+  ExecutionEngine engine_;
+  std::unique_ptr<PipelineManager> pipeline_manager_;
+  std::unique_ptr<Metric> metric_prototype_;
+  Rng rng_;
+  int64_t initial_training_epochs_ = 0;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_DEPLOYMENT_H_

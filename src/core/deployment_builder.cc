@@ -1,0 +1,45 @@
+#include "src/core/deployment_builder.h"
+
+namespace cdpipe {
+
+Status DeploymentBuilder::CheckIngredients() const {
+  if (pipeline_ == nullptr) {
+    return Status::FailedPrecondition("DeploymentBuilder: Pipeline() not set");
+  }
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("DeploymentBuilder: Model() not set");
+  }
+  if (optimizer_ == nullptr) {
+    return Status::FailedPrecondition(
+        "DeploymentBuilder: Optimizer() not set");
+  }
+  if (metric_ == nullptr) {
+    return Status::FailedPrecondition("DeploymentBuilder: Metric() not set");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<OnlineDeployment>> DeploymentBuilder::BuildOnline() {
+  CDPIPE_RETURN_NOT_OK(CheckIngredients());
+  return std::make_unique<OnlineDeployment>(
+      std::move(options_), std::move(pipeline_), std::move(model_),
+      std::move(optimizer_), std::move(metric_));
+}
+
+Result<std::unique_ptr<PeriodicalDeployment>>
+DeploymentBuilder::BuildPeriodical() {
+  CDPIPE_RETURN_NOT_OK(CheckIngredients());
+  return std::make_unique<PeriodicalDeployment>(
+      std::move(options_), std::move(periodical_), std::move(pipeline_),
+      std::move(model_), std::move(optimizer_), std::move(metric_));
+}
+
+Result<std::unique_ptr<ContinuousDeployment>>
+DeploymentBuilder::BuildContinuous() {
+  CDPIPE_RETURN_NOT_OK(CheckIngredients());
+  return std::make_unique<ContinuousDeployment>(
+      std::move(options_), std::move(continuous_), std::move(pipeline_),
+      std::move(model_), std::move(optimizer_), std::move(metric_));
+}
+
+}  // namespace cdpipe

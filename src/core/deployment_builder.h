@@ -1,0 +1,153 @@
+#ifndef CDPIPE_CORE_DEPLOYMENT_BUILDER_H_
+#define CDPIPE_CORE_DEPLOYMENT_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/continuous_deployment.h"
+#include "src/core/online_deployment.h"
+#include "src/core/periodical_deployment.h"
+#include "src/drift/drift_detector.h"
+#include "src/ml/metrics.h"
+#include "src/scheduler/scheduler.h"
+
+namespace cdpipe {
+
+/// Fluent assembly of a deployment: collects the pipeline, model, optimizer,
+/// metric, storage bounds, and strategy knobs, then builds one of the three
+/// strategies.  Exists so applications do not have to juggle three option
+/// structs; every setter has the library default documented at the option
+/// it forwards to.
+///
+///   auto deployment = DeploymentBuilder()
+///       .Pipeline(MakeUrlPipeline(cfg))
+///       .Model(std::make_unique<LinearModel>(MakeUrlModelOptions(cfg)))
+///       .Optimizer(MakeOptimizer({.kind = OptimizerKind::kAdam}))
+///       .Metric(std::make_unique<MisclassificationRate>())
+///       .Sampler(SamplerKind::kTime)
+///       .MaterializedChunkBudget(500)
+///       .ProactiveEveryChunks(5)
+///       .ProactiveSampleChunks(20)
+///       .BuildContinuous();
+///
+/// Build methods return FailedPrecondition when a required ingredient
+/// (pipeline, model, optimizer, metric) is missing.  The builder is
+/// single-shot: ingredients are consumed by the first successful build.
+class DeploymentBuilder {
+ public:
+  DeploymentBuilder() = default;
+
+  DeploymentBuilder& Pipeline(std::unique_ptr<class Pipeline> pipeline) {
+    pipeline_ = std::move(pipeline);
+    return *this;
+  }
+  DeploymentBuilder& Model(std::unique_ptr<LinearModel> model) {
+    model_ = std::move(model);
+    return *this;
+  }
+  DeploymentBuilder& Optimizer(std::unique_ptr<class Optimizer> optimizer) {
+    optimizer_ = std::move(optimizer);
+    return *this;
+  }
+  DeploymentBuilder& Metric(std::unique_ptr<class Metric> metric) {
+    metric_ = std::move(metric);
+    return *this;
+  }
+
+  DeploymentBuilder& Seed(uint64_t seed) {
+    options_.seed = seed;
+    return *this;
+  }
+  DeploymentBuilder& Sampler(SamplerKind kind, size_t window = 0) {
+    options_.sampler = kind;
+    options_.sampler_window = window;
+    return *this;
+  }
+  /// m of §3.2.2 — the feature-cache capacity.
+  DeploymentBuilder& MaterializedChunkBudget(size_t chunks) {
+    options_.store.max_materialized_chunks = chunks;
+    return *this;
+  }
+  /// N of §3.2.2 — bound on the raw chunk log (0 = unbounded).
+  DeploymentBuilder& RawChunkBudget(size_t chunks) {
+    options_.store.max_raw_chunks = chunks;
+    return *this;
+  }
+  DeploymentBuilder& OnlineStatistics(bool enabled) {
+    options_.online_statistics = enabled;
+    return *this;
+  }
+  DeploymentBuilder& OnlineLearning(bool enabled) {
+    options_.online_learning = enabled;
+    return *this;
+  }
+  DeploymentBuilder& EvalWindow(size_t observations) {
+    options_.eval_window = observations;
+    return *this;
+  }
+  DeploymentBuilder& EngineThreads(size_t threads) {
+    options_.engine_threads = threads;
+    return *this;
+  }
+
+  // Continuous-strategy knobs.
+  DeploymentBuilder& ProactiveEveryChunks(size_t chunks) {
+    continuous_.proactive_every_chunks = chunks;
+    return *this;
+  }
+  DeploymentBuilder& ProactiveSampleChunks(size_t chunks) {
+    continuous_.sample_chunks = chunks;
+    return *this;
+  }
+  DeploymentBuilder& Scheduler(std::unique_ptr<class Scheduler> scheduler) {
+    continuous_.scheduler = std::move(scheduler);
+    return *this;
+  }
+  DeploymentBuilder& DriftDetector(
+      std::unique_ptr<class DriftDetector> detector,
+      size_t burst_iterations = 3, size_t window_chunks = 20) {
+    continuous_.drift_detector = std::move(detector);
+    continuous_.drift_burst_iterations = burst_iterations;
+    continuous_.drift_window_chunks = window_chunks;
+    return *this;
+  }
+
+  // Periodical-strategy knobs.
+  DeploymentBuilder& RetrainEveryChunks(size_t chunks) {
+    periodical_.retrain_every_chunks = chunks;
+    return *this;
+  }
+  DeploymentBuilder& WarmStart(bool enabled) {
+    periodical_.warm_start = enabled;
+    return *this;
+  }
+  DeploymentBuilder& RetrainOptions(BatchTrainer::Options options) {
+    periodical_.retrain = options;
+    return *this;
+  }
+  /// Velox-style error-threshold retraining (0 disables).
+  DeploymentBuilder& RetrainErrorThreshold(double threshold) {
+    periodical_.retrain_error_threshold = threshold;
+    return *this;
+  }
+
+  Result<std::unique_ptr<OnlineDeployment>> BuildOnline();
+  Result<std::unique_ptr<PeriodicalDeployment>> BuildPeriodical();
+  Result<std::unique_ptr<ContinuousDeployment>> BuildContinuous();
+
+ private:
+  Status CheckIngredients() const;
+
+  std::unique_ptr<class Pipeline> pipeline_;
+  std::unique_ptr<LinearModel> model_;
+  std::unique_ptr<class Optimizer> optimizer_;
+  std::unique_ptr<class Metric> metric_;
+  Deployment::Options options_;
+  ContinuousDeployment::ContinuousOptions continuous_;
+  PeriodicalDeployment::PeriodicalOptions periodical_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_DEPLOYMENT_BUILDER_H_

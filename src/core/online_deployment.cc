@@ -1,0 +1,5 @@
+#include "src/core/online_deployment.h"
+
+// Header-only strategy; this file anchors the translation unit.
+
+namespace cdpipe {}  // namespace cdpipe

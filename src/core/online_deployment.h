@@ -1,0 +1,37 @@
+#ifndef CDPIPE_CORE_ONLINE_DEPLOYMENT_H_
+#define CDPIPE_CORE_ONLINE_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/deployment.h"
+
+namespace cdpipe {
+
+/// The **online** deployment baseline (§5.2): the deployed model is updated
+/// only by online gradient descent on each arriving chunk — every training
+/// point is visited exactly once, which is cheap but noise-sensitive.
+class OnlineDeployment final : public Deployment {
+ public:
+  OnlineDeployment(Options options, std::unique_ptr<Pipeline> pipeline,
+                   std::unique_ptr<LinearModel> model,
+                   std::unique_ptr<Optimizer> optimizer,
+                   std::unique_ptr<Metric> metric)
+      : Deployment("online", std::move(options), std::move(pipeline),
+                   std::move(model), std::move(optimizer),
+                   std::move(metric)) {}
+
+ protected:
+  Status AfterChunk(size_t stream_index, const RawChunk& chunk,
+                    const ChunkOutcome& outcome) override {
+    (void)stream_index;
+    (void)chunk;
+    (void)outcome;
+    return Status::OK();
+  }
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_ONLINE_DEPLOYMENT_H_

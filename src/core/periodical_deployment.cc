@@ -1,0 +1,116 @@
+#include "src/core/periodical_deployment.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/core/proactive_trainer.h"
+
+namespace cdpipe {
+
+PeriodicalDeployment::PeriodicalDeployment(
+    Options options, PeriodicalOptions periodical_options,
+    std::unique_ptr<Pipeline> pipeline, std::unique_ptr<LinearModel> model,
+    std::unique_ptr<Optimizer> optimizer, std::unique_ptr<Metric> metric)
+    : Deployment("periodical", std::move(options), std::move(pipeline),
+                 std::move(model), std::move(optimizer), std::move(metric)),
+      periodical_options_(std::move(periodical_options)) {
+  CDPIPE_CHECK_GT(periodical_options_.retrain_every_chunks, 0u);
+}
+
+Status PeriodicalDeployment::AfterChunk(size_t stream_index,
+                                        const RawChunk& chunk,
+                                        const ChunkOutcome& outcome) {
+  (void)chunk;
+  bool due =
+      (stream_index + 1) % periodical_options_.retrain_every_chunks == 0;
+
+  // Velox-style error-threshold trigger (see PeriodicalOptions).
+  if (periodical_options_.retrain_error_threshold > 0.0 &&
+      outcome.rows > 0) {
+    const double alpha = periodical_options_.error_smoothing;
+    if (!smoothed_error_initialized_) {
+      smoothed_error_ = outcome.mean_error_signal;
+      smoothed_error_initialized_ = true;
+    } else {
+      smoothed_error_ =
+          alpha * outcome.mean_error_signal + (1.0 - alpha) * smoothed_error_;
+    }
+    const bool cooled_down =
+        last_retrain_chunk_ < 0 ||
+        static_cast<int64_t>(stream_index) - last_retrain_chunk_ >=
+            static_cast<int64_t>(
+                periodical_options_.min_chunks_between_retrains);
+    if (smoothed_error_ > periodical_options_.retrain_error_threshold &&
+        cooled_down) {
+      due = true;
+    }
+  }
+
+  if (!due) return Status::OK();
+  last_retrain_chunk_ = static_cast<int64_t>(stream_index);
+  return Retrain();
+}
+
+Status PeriodicalDeployment::Retrain() {
+  // Full retraining: preprocess the *entire* available history.  Chunks that
+  // happen to be materialized are reused; in the authentic periodical
+  // configuration (max_materialized_chunks = 0) everything is re-transformed
+  // from raw data — the dominant cost the paper attributes to this strategy.
+  const std::vector<ChunkId> live = data_manager().store().LiveIds();
+  std::vector<FeatureChunk> rebuilt;
+  std::vector<const FeatureData*> parts;
+  parts.reserve(live.size());
+
+  std::vector<const RawChunk*> to_transform;
+  for (ChunkId id : live) {
+    if (const FeatureChunk* features = data_manager().store().GetFeatures(id)) {
+      parts.push_back(&features->data);
+    } else {
+      const RawChunk* raw = data_manager().store().GetRaw(id);
+      CDPIPE_CHECK(raw != nullptr);
+      to_transform.push_back(raw);
+    }
+  }
+  rebuilt.resize(to_transform.size());
+  CDPIPE_RETURN_NOT_OK(
+      engine().ParallelFor(to_transform.size(), [&](size_t i) -> Status {
+        CDPIPE_ASSIGN_OR_RETURN(
+            rebuilt[i], pipeline_manager().Rematerialize(*to_transform[i]));
+        return Status::OK();
+      }));
+  for (const FeatureChunk& chunk : rebuilt) parts.push_back(&chunk.data);
+  if (parts.empty()) return Status::OK();
+
+  // Warm start (TFX): clone the deployed model + optimizer state.
+  // Cold start: fresh weights, reset adaptation state.
+  std::unique_ptr<LinearModel> model;
+  std::unique_ptr<Optimizer> optimizer =
+      pipeline_manager().optimizer().Clone();
+  if (periodical_options_.warm_start) {
+    model = std::make_unique<LinearModel>(pipeline_manager().model());
+  } else {
+    model = std::make_unique<LinearModel>(pipeline_manager().model().options());
+    optimizer->Reset();
+  }
+
+  {
+    CostModel::ScopedTimer timer(&cost(), CostPhase::kRetraining);
+    BatchTrainer trainer(periodical_options_.retrain);
+    CDPIPE_ASSIGN_OR_RETURN(
+        BatchTrainer::Stats stats,
+        trainer.Train(parts, model.get(), optimizer.get(), &rng()));
+    cost().AddWork(CostPhase::kRetraining, stats.examples_visited);
+    retrain_epochs_total_ += stats.epochs_run;
+  }
+
+  pipeline_manager().Redeploy(std::move(model), std::move(optimizer));
+  ++retrainings_;
+  return Status::OK();
+}
+
+void PeriodicalDeployment::FillReport(DeploymentReport* report) const {
+  report->retrainings = retrainings_;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,72 @@
+#ifndef CDPIPE_CORE_PERIODICAL_DEPLOYMENT_H_
+#define CDPIPE_CORE_PERIODICAL_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/deployment.h"
+#include "src/ml/trainer.h"
+
+namespace cdpipe {
+
+/// The **periodical** deployment baseline (§5.2): online learning between
+/// retrainings, plus a full retraining over all available historical data
+/// every `retrain_every_chunks` chunks (every 10 days for URL, monthly for
+/// Taxi in the paper).  Supports TFX-style warm starting: the retraining
+/// reuses the deployed model weights, learning-rate adaptation state, and
+/// (implicitly — they are shared) the pipeline statistics.
+///
+/// The expense of this strategy is intrinsic: every retraining must
+/// preprocess the entire history again (feature chunks are not materialized
+/// in the classic periodical platform; configure `store.max_materialized_
+/// chunks = 0` to reproduce that) and then iterate SGD to convergence.
+class PeriodicalDeployment final : public Deployment {
+ public:
+  struct PeriodicalOptions {
+    size_t retrain_every_chunks = 1000;
+    /// TFX-style warm starting (§5.2): start retraining from the deployed
+    /// weights and optimizer state instead of from scratch.
+    bool warm_start = true;
+    BatchTrainer::Options retrain;
+
+    /// Velox-style triggering (paper §6: "Velox monitors the error rate of
+    /// the model ... once the error rate exceeds a predefined threshold,
+    /// Velox initiates a retraining"): when > 0, a retraining also fires as
+    /// soon as the smoothed per-chunk prequential error exceeds this
+    /// threshold, independent of the fixed interval.
+    double retrain_error_threshold = 0.0;
+    /// EWMA factor for the smoothed error signal the threshold tests.
+    double error_smoothing = 0.2;
+    /// Cool-down so a slow-to-recover error cannot trigger back-to-back
+    /// retrainings.
+    size_t min_chunks_between_retrains = 10;
+  };
+
+  PeriodicalDeployment(Options options, PeriodicalOptions periodical_options,
+                       std::unique_ptr<Pipeline> pipeline,
+                       std::unique_ptr<LinearModel> model,
+                       std::unique_ptr<Optimizer> optimizer,
+                       std::unique_ptr<Metric> metric);
+
+  int64_t retrainings() const { return retrainings_; }
+
+ protected:
+  Status AfterChunk(size_t stream_index, const RawChunk& chunk,
+                    const ChunkOutcome& outcome) override;
+  void FillReport(DeploymentReport* report) const override;
+
+ private:
+  Status Retrain();
+
+  PeriodicalOptions periodical_options_;
+  int64_t retrainings_ = 0;
+  int64_t retrain_epochs_total_ = 0;
+  double smoothed_error_ = 0.0;
+  bool smoothed_error_initialized_ = false;
+  int64_t last_retrain_chunk_ = -1;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_PERIODICAL_DEPLOYMENT_H_

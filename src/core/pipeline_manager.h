@@ -1,0 +1,84 @@
+#ifndef CDPIPE_CORE_PIPELINE_MANAGER_H_
+#define CDPIPE_CORE_PIPELINE_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/cost_model.h"
+#include "src/dataframe/chunk.h"
+#include "src/ml/linear_model.h"
+#include "src/ml/optimizer.h"
+#include "src/ml/prequential.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cdpipe {
+
+/// The central component of the deployment platform (paper §4.3): owns the
+/// deployed pipeline, model, and optimizer; runs the online path for
+/// arriving chunks; answers prediction queries; and re-materializes evicted
+/// feature chunks — always through the *same* pipeline object, which is what
+/// guarantees train/serve consistency.
+class PipelineManager {
+ public:
+  struct Options {
+    /// Online statistics computation (§3.1).  When disabled (the
+    /// NoOptimization baseline of §5.4), re-materialization recomputes
+    /// component statistics by rescanning the sampled chunk.
+    bool online_statistics = true;
+  };
+
+  PipelineManager(std::unique_ptr<Pipeline> pipeline,
+                  std::unique_ptr<LinearModel> model,
+                  std::unique_ptr<Optimizer> optimizer, CostModel* cost,
+                  Options options = Options{true});
+
+  /// The online path for one arriving training chunk:
+  ///   1. update every component's statistics and transform the chunk
+  ///      (preprocessing cost),
+  ///   2. prequential test-then-train: evaluate the *current* model on the
+  ///      transformed rows (prediction cost), feeding `evaluator`,
+  ///   3. if `online_learn`, apply one online SGD update over the chunk
+  ///      (online-training cost).
+  /// Returns the materialized feature chunk for storage.
+  Result<FeatureChunk> OnlineStep(const RawChunk& chunk,
+                                  PrequentialEvaluator* evaluator,
+                                  bool online_learn);
+
+  /// Re-materializes an evicted feature chunk (transform-only; statistics
+  /// untouched).  Under `online_statistics == false` this also pays the
+  /// statistics-recomputation scans.  Cost lands in kMaterialization.
+  Result<FeatureChunk> Rematerialize(const RawChunk& chunk) const;
+
+  /// Transforms prediction queries and scores them (no statistics update,
+  /// no label use beyond returning them for the caller's evaluation).
+  Result<FeatureData> TransformForInference(const RawChunk& queries) const;
+
+  /// One proactive / retraining mini-batch SGD iteration over `batch`
+  /// (cost recorded under `phase`).
+  Status TrainStep(const FeatureData& batch, CostPhase phase);
+
+  const Pipeline& pipeline() const { return *pipeline_; }
+  Pipeline* mutable_pipeline() { return pipeline_.get(); }
+  const LinearModel& model() const { return *model_; }
+  LinearModel* mutable_model() { return model_.get(); }
+  const Optimizer& optimizer() const { return *optimizer_; }
+  Optimizer* mutable_optimizer() { return optimizer_.get(); }
+  CostModel* cost() { return cost_; }
+  const Options& options() const { return options_; }
+
+  /// Replaces the deployed model and optimizer (periodical redeployment).
+  void Redeploy(std::unique_ptr<LinearModel> model,
+                std::unique_ptr<Optimizer> optimizer);
+
+ private:
+  std::unique_ptr<Pipeline> pipeline_;
+  std::unique_ptr<LinearModel> model_;
+  std::unique_ptr<Optimizer> optimizer_;
+  CostModel* cost_;
+  Options options_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_PIPELINE_MANAGER_H_

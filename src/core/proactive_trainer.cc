@@ -1,0 +1,81 @@
+#include "src/core/proactive_trainer.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+
+namespace cdpipe {
+
+FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts) {
+  FeatureData out;
+  size_t total_rows = 0;
+  for (const FeatureData* part : parts) {
+    CDPIPE_CHECK(part != nullptr);
+    out.dim = std::max(out.dim, part->dim);
+    total_rows += part->num_rows();
+  }
+  out.features.reserve(total_rows);
+  out.labels.reserve(total_rows);
+  for (const FeatureData* part : parts) {
+    for (size_t r = 0; r < part->num_rows(); ++r) {
+      const SparseVector& x = part->features[r];
+      if (x.dim() == out.dim) {
+        out.features.push_back(x);
+      } else {
+        // Widen the nominal dimension; indices are untouched.
+        out.features.push_back(
+            std::move(SparseVector::FromSorted(
+                          out.dim, std::vector<uint32_t>(x.indices()),
+                          std::vector<double>(x.values())))
+                .ValueOrDie());
+      }
+      out.labels.push_back(part->labels[r]);
+    }
+  }
+  return out;
+}
+
+ProactiveTrainer::ProactiveTrainer(PipelineManager* pipeline_manager,
+                                   ExecutionEngine* engine)
+    : pipeline_manager_(pipeline_manager), engine_(engine) {
+  CDPIPE_CHECK(pipeline_manager_ != nullptr);
+  CDPIPE_CHECK(engine_ != nullptr);
+}
+
+Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
+  Stopwatch watch;
+
+  // Dynamic materialization: rebuild the evicted chunks in the sample.
+  std::vector<FeatureChunk> rebuilt(sample.to_rematerialize.size());
+  CDPIPE_RETURN_NOT_OK(engine_->ParallelFor(
+      sample.to_rematerialize.size(), [&](size_t i) -> Status {
+        CDPIPE_ASSIGN_OR_RETURN(
+            rebuilt[i],
+            pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]));
+        return Status::OK();
+      }));
+  stats_.chunks_rematerialized +=
+      static_cast<int64_t>(sample.to_rematerialize.size());
+
+  std::vector<const FeatureData*> parts;
+  parts.reserve(sample.materialized.size() + rebuilt.size());
+  for (const FeatureChunk* chunk : sample.materialized) {
+    parts.push_back(&chunk->data);
+  }
+  for (const FeatureChunk& chunk : rebuilt) parts.push_back(&chunk.data);
+
+  const FeatureData batch = MergeFeatureData(parts);
+  if (batch.num_rows() > 0) {
+    CDPIPE_RETURN_NOT_OK(
+        pipeline_manager_->TrainStep(batch, CostPhase::kProactiveTraining));
+  }
+
+  ++stats_.iterations;
+  stats_.rows_trained += static_cast<int64_t>(batch.num_rows());
+  stats_.last_duration_seconds = watch.ElapsedSeconds();
+  stats_.total_duration_seconds += stats_.last_duration_seconds;
+  return Status::OK();
+}
+
+}  // namespace cdpipe

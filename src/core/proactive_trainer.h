@@ -1,0 +1,59 @@
+#ifndef CDPIPE_CORE_PROACTIVE_TRAINER_H_
+#define CDPIPE_CORE_PROACTIVE_TRAINER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/data_manager.h"
+#include "src/core/pipeline_manager.h"
+#include "src/engine/execution_engine.h"
+
+namespace cdpipe {
+
+/// Merges feature chunks (possibly with different nominal dims, e.g. when a
+/// one-hot dictionary grew between materializations) into one training
+/// batch whose dim is the maximum of the inputs.
+FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts);
+
+/// Executes proactive training (paper §3.3 / §4.4): each invocation is
+/// exactly one iteration of mini-batch SGD over a sample of the historical
+/// data.  Evicted chunks in the sample are first re-materialized through
+/// the deployed pipeline (dynamic materialization, §3.2) — in parallel when
+/// the execution engine has more than one thread.
+///
+/// Because the optimizer carries all cross-iteration state (model weights,
+/// learning-rate adaptation), iterations are conditionally independent and
+/// can run at arbitrary times without any warm-up.
+class ProactiveTrainer {
+ public:
+  struct Stats {
+    int64_t iterations = 0;
+    int64_t rows_trained = 0;
+    int64_t chunks_rematerialized = 0;
+    double last_duration_seconds = 0.0;
+    double total_duration_seconds = 0.0;
+
+    double AverageDurationSeconds() const {
+      return iterations > 0 ? total_duration_seconds /
+                                  static_cast<double>(iterations)
+                            : 0.0;
+    }
+  };
+
+  ProactiveTrainer(PipelineManager* pipeline_manager,
+                   ExecutionEngine* engine);
+
+  /// One proactive iteration over an already-drawn sample.
+  Status RunIteration(const DataManager::SampleSet& sample);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  PipelineManager* pipeline_manager_;
+  ExecutionEngine* engine_;
+  Stats stats_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_PROACTIVE_TRAINER_H_

@@ -1,0 +1,54 @@
+#include "src/core/report.h"
+
+#include <ostream>
+
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+std::string DeploymentReport::CurveToCsv() const {
+  std::string out =
+      "chunk_index,observations,cumulative_error,windowed_error,"
+      "cumulative_seconds,cumulative_work\n";
+  for (const PointRow& row : curve) {
+    out += StrFormat("%lld,%lld,%.6f,%.6f,%.4f,%lld\n",
+                     static_cast<long long>(row.chunk_index),
+                     static_cast<long long>(row.observations),
+                     row.cumulative_error, row.windowed_error,
+                     row.cumulative_seconds,
+                     static_cast<long long>(row.cumulative_work));
+  }
+  return out;
+}
+
+std::vector<DeploymentReport::PointRow> DeploymentReport::SampledCurve(
+    size_t points) const {
+  if (points == 0 || curve.size() <= points) return curve;
+  std::vector<PointRow> out;
+  out.reserve(points);
+  const double stride =
+      static_cast<double>(curve.size() - 1) / static_cast<double>(points - 1);
+  for (size_t i = 0; i < points; ++i) {
+    out.push_back(curve[static_cast<size_t>(i * stride + 0.5)]);
+  }
+  out.back() = curve.back();
+  return out;
+}
+
+std::string DeploymentReport::Summary() const {
+  return StrFormat(
+      "%s: final %s=%.5f (avg %.5f), cost %.2fs / %lld work units, "
+      "proactive=%lld (avg %.4fs), retrainings=%lld, mu=%.3f, "
+      "chunks=%lld",
+      strategy.c_str(), metric_name.c_str(), final_error, average_error,
+      total_seconds, static_cast<long long>(total_work),
+      static_cast<long long>(proactive_iterations), average_proactive_seconds,
+      static_cast<long long>(retrainings), empirical_mu,
+      static_cast<long long>(chunks_processed));
+}
+
+std::ostream& operator<<(std::ostream& os, const DeploymentReport& report) {
+  return os << report.Summary();
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,62 @@
+#ifndef CDPIPE_CORE_REPORT_H_
+#define CDPIPE_CORE_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/cost_model.h"
+#include "src/storage/chunk_store.h"
+
+namespace cdpipe {
+
+/// Everything a deployment run produces: the quality curve (prequential
+/// error over time), the cost curve (cumulative seconds and work units),
+/// and the final counters — the raw material for every figure and table in
+/// the paper's evaluation.
+struct DeploymentReport {
+  /// One row per processed chunk.
+  struct PointRow {
+    int64_t chunk_index = 0;
+    int64_t observations = 0;        ///< prequential observations so far
+    double cumulative_error = 0.0;   ///< cumulative prequential metric
+    double windowed_error = 0.0;     ///< sliding-window metric
+    double cumulative_seconds = 0.0; ///< total cost so far (wall clock)
+    int64_t cumulative_work = 0;     ///< total work units so far
+  };
+
+  std::string strategy;
+  std::string metric_name;
+  std::vector<PointRow> curve;
+
+  double final_error = 0.0;
+  double average_error = 0.0;  ///< mean of the per-chunk cumulative metric
+  double total_seconds = 0.0;
+  int64_t total_work = 0;
+
+  CostModel cost;
+  ChunkStore::Counters storage;
+  double empirical_mu = 0.0;
+  int64_t proactive_iterations = 0;
+  double average_proactive_seconds = 0.0;
+  int64_t retrainings = 0;
+  int64_t drift_events = 0;
+  int64_t chunks_processed = 0;
+  int64_t initial_training_epochs = 0;
+
+  /// Serializes the curve as CSV with a header row.
+  std::string CurveToCsv() const;
+
+  /// Downsamples the curve to at most `points` rows (for compact figures).
+  std::vector<PointRow> SampledCurve(size_t points) const;
+
+  /// One-paragraph human-readable summary.
+  std::string Summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const DeploymentReport& report);
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_CORE_REPORT_H_

@@ -1,0 +1,69 @@
+#include "src/data/dataset_io.h"
+
+#include <fstream>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+std::vector<RawChunk> DiscretizeRecords(std::vector<std::string> records,
+                                        size_t records_per_chunk,
+                                        int64_t start_time_seconds,
+                                        int64_t period_seconds,
+                                        ChunkId first_id) {
+  CDPIPE_CHECK_GT(records_per_chunk, 0u);
+  std::vector<RawChunk> out;
+  out.reserve((records.size() + records_per_chunk - 1) / records_per_chunk);
+  RawChunk current;
+  current.id = first_id;
+  current.event_time_seconds = start_time_seconds;
+  for (std::string& record : records) {
+    current.records.push_back(std::move(record));
+    if (current.records.size() == records_per_chunk) {
+      const ChunkId id = current.id;
+      const int64_t t = current.event_time_seconds;
+      out.push_back(std::move(current));
+      current = RawChunk{};
+      current.id = id + 1;
+      current.event_time_seconds = t + period_seconds;
+    }
+  }
+  if (!current.records.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+Status SaveRecords(const std::string& path,
+                   const std::vector<std::string>& records) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  for (const std::string& record : records) {
+    file << record << '\n';
+  }
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> LoadRecords(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+std::vector<std::string> FlattenChunks(const std::vector<RawChunk>& chunks) {
+  std::vector<std::string> out;
+  size_t total = 0;
+  for (const RawChunk& chunk : chunks) total += chunk.records.size();
+  out.reserve(total);
+  for (const RawChunk& chunk : chunks) {
+    out.insert(out.end(), chunk.records.begin(), chunk.records.end());
+  }
+  return out;
+}
+
+}  // namespace cdpipe

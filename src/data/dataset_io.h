@@ -1,0 +1,34 @@
+#ifndef CDPIPE_DATA_DATASET_IO_H_
+#define CDPIPE_DATA_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+
+namespace cdpipe {
+
+/// Splits a flat record stream into timestamped chunks of
+/// `records_per_chunk` rows (the data manager's discretization step, done
+/// eagerly for offline replay).  The final chunk may be smaller.  Ids start
+/// at `first_id`; event times advance by `period_seconds` per chunk.
+std::vector<RawChunk> DiscretizeRecords(std::vector<std::string> records,
+                                        size_t records_per_chunk,
+                                        int64_t start_time_seconds,
+                                        int64_t period_seconds,
+                                        ChunkId first_id = 0);
+
+/// Writes records one per line.
+Status SaveRecords(const std::string& path,
+                   const std::vector<std::string>& records);
+
+/// Reads records one per line (empty lines skipped).
+Result<std::vector<std::string>> LoadRecords(const std::string& path);
+
+/// Flattens chunks back into a record stream (inverse of discretization).
+std::vector<std::string> FlattenChunks(const std::vector<RawChunk>& chunks);
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_DATA_DATASET_IO_H_

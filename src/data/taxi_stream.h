@@ -1,0 +1,70 @@
+#ifndef CDPIPE_DATA_TAXI_STREAM_H_
+#define CDPIPE_DATA_TAXI_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dataframe/chunk.h"
+#include "src/ml/linear_model.h"
+#include "src/pipeline/pipeline.h"
+
+namespace cdpipe {
+
+/// Synthetic stand-in for the NYC taxi trip dataset: CSV records
+///
+///   pickup_datetime,dropoff_datetime,pickup_lon,pickup_lat,
+///   dropoff_lon,dropoff_lat,passenger_count
+///
+/// Trips start at Gaussian-scattered Manhattan-like coordinates; the true
+/// duration is distance / speed, where speed follows the daily rush-hour
+/// cycle and a weekday/weekend split, times log-normal noise.  The process
+/// is **stationary** over the whole stream (matching the paper's
+/// observation that the Taxi distribution does not drift, §5.3).  A small
+/// fraction of trips are anomalies of exactly the three kinds the paper's
+/// anomaly detector removes: zero distance, duration > 22h, duration < 10s.
+class TaxiStreamGenerator {
+ public:
+  struct Config {
+    size_t records_per_chunk = 200;
+    int64_t start_time_seconds = 1420070400;  ///< 2015-01-01 00:00:00 UTC
+    int64_t chunk_period_seconds = 3600;      ///< paper: 1-hour chunks
+    double anomaly_prob = 0.01;
+    double noise_sigma = 0.25;  ///< log-normal duration noise
+    uint64_t seed = 11;
+  };
+
+  explicit TaxiStreamGenerator(Config config);
+
+  RawChunk NextChunk();
+  std::vector<RawChunk> Generate(size_t n);
+
+  const Config& config() const { return config_; }
+
+  /// Noise-free expected duration (seconds) for a trip — exposed so tests
+  /// can check the generator against the pipeline's feature extraction.
+  static double ExpectedDurationSeconds(double distance_km, int hour_of_day,
+                                        bool weekend);
+
+ private:
+  Config config_;
+  Rng rng_;
+  ChunkId next_id_ = 0;
+  int64_t next_time_ = 0;
+};
+
+/// Builds the Taxi preprocessing pipeline (paper §5.1): csv input parser,
+/// taxi feature extractor (duration, haversine, bearing, hour, weekday),
+/// anomaly filter, standard scaler, vector assembler.  The model regresses
+/// log1p(duration) (the RMSLE target).
+std::unique_ptr<Pipeline> MakeTaxiPipeline();
+
+/// The schema of the raw taxi CSV records.
+std::shared_ptr<const Schema> TaxiRawSchema();
+
+/// Model options matching the Taxi pipeline (least-squares regression).
+LinearModel::Options MakeTaxiModelOptions(double l2_reg = 1e-4);
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_DATA_TAXI_STREAM_H_

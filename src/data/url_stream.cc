@@ -1,0 +1,137 @@
+#include "src/data/url_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/pipeline/feature_hasher.h"
+#include "src/pipeline/input_parser.h"
+#include "src/pipeline/missing_value_imputer.h"
+#include "src/pipeline/standard_scaler.h"
+
+namespace cdpipe {
+
+UrlStreamGenerator::UrlStreamGenerator(Config config)
+    : config_(config), rng_(config.seed),
+      next_time_(config.start_time_seconds) {
+  CDPIPE_CHECK_GT(config_.initial_active_features, 0u);
+  CDPIPE_CHECK_LE(config_.initial_active_features, config_.feature_dim);
+  CDPIPE_CHECK_GT(config_.nnz_per_record, 0u);
+  active_.reserve(config_.initial_active_features);
+  active_weights_.reserve(config_.initial_active_features);
+  for (uint32_t i = 0; i < config_.initial_active_features; ++i) {
+    ActivateFeature();
+  }
+}
+
+void UrlStreamGenerator::ActivateFeature() {
+  if (next_feature_ >= config_.feature_dim) return;  // space exhausted
+  active_.push_back(next_feature_++);
+  // Most features are weak; a few are strongly predictive (heavy-tailed
+  // weights make the classification problem realistic).
+  double w = rng_.NextGaussian(0.0, 0.5);
+  if (rng_.NextBernoulli(0.05)) w *= 6.0;
+  active_weights_.push_back(w);
+  drift_direction_.push_back(rng_.NextGaussian());
+}
+
+RawChunk UrlStreamGenerator::NextChunk() {
+  // --- advance the drift process ---
+  for (uint32_t i = 0; i < config_.new_features_per_chunk; ++i) {
+    ActivateFeature();
+  }
+  for (uint32_t i = 0; i < config_.perturbed_weights_per_chunk; ++i) {
+    const size_t j = static_cast<size_t>(rng_.NextBounded(active_.size()));
+    active_weights_[j] += rng_.NextGaussian(0.0, config_.drift_step);
+  }
+  if (config_.directional_drift_step != 0.0) {
+    for (size_t j = 0; j < active_weights_.size(); ++j) {
+      active_weights_[j] += config_.directional_drift_step * drift_direction_[j];
+    }
+  }
+
+  RawChunk chunk;
+  chunk.id = next_id_++;
+  chunk.event_time_seconds = next_time_;
+  next_time_ += config_.chunk_period_seconds;
+  chunk.records.reserve(config_.records_per_chunk);
+
+  for (size_t r = 0; r < config_.records_per_chunk; ++r) {
+    double score = 0.0;
+    std::vector<std::pair<uint32_t, double>> entries;
+    // Rejection-sample rows with a clear margin (see Config).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      // Draw nnz distinct active feature positions.
+      const std::vector<size_t> picks = rng_.SampleWithoutReplacement(
+          active_.size(), config_.nnz_per_record);
+      score = bias_;
+      entries.clear();
+      entries.reserve(picks.size());
+      for (size_t j : picks) {
+        // Binary-ish sparse values with mild magnitude variation, as in
+        // bag-of-tokens URL features.
+        const double value =
+            rng_.NextBernoulli(0.7)
+                ? 1.0
+                : std::abs(rng_.NextGaussian(0.0, 1.0)) + 0.1;
+        score += active_weights_[j] * value;
+        entries.emplace_back(active_[j], value);
+      }
+      if (std::abs(score) >= config_.margin_threshold) break;
+    }
+    double label = score >= 0.0 ? 1.0 : -1.0;
+    if (rng_.NextBernoulli(config_.label_noise)) label = -label;
+
+    std::string line = label > 0 ? "+1" : "-1";
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [index, value] : entries) {
+      if (rng_.NextBernoulli(config_.missing_prob)) {
+        line += StrFormat(" %u:nan", index);
+      } else {
+        line += StrFormat(" %u:%.4f", index, value);
+      }
+    }
+    chunk.records.push_back(std::move(line));
+  }
+  return chunk;
+}
+
+std::vector<RawChunk> UrlStreamGenerator::Generate(size_t n) {
+  std::vector<RawChunk> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextChunk());
+  return out;
+}
+
+std::unique_ptr<Pipeline> MakeUrlPipeline(const UrlPipelineConfig& config) {
+  auto pipeline = std::make_unique<Pipeline>();
+  InputParser::Options parser;
+  parser.format = InputParser::Format::kLibSvm;
+  parser.feature_dim = config.raw_dim;
+  parser.binarize_labels = true;
+  CDPIPE_CHECK(pipeline->AddComponent(
+                           std::make_unique<InputParser>(parser))
+                   .ok());
+  CDPIPE_CHECK(
+      pipeline->AddComponent(std::make_unique<MissingValueImputer>()).ok());
+  CDPIPE_CHECK(
+      pipeline->AddComponent(std::make_unique<StandardScaler>()).ok());
+  FeatureHasher::Options hasher;
+  hasher.bits = config.hash_bits;
+  CDPIPE_CHECK(
+      pipeline->AddComponent(std::make_unique<FeatureHasher>(hasher)).ok());
+  return pipeline;
+}
+
+LinearModel::Options MakeUrlModelOptions(const UrlPipelineConfig& config) {
+  LinearModel::Options options;
+  options.loss = LossKind::kHinge;
+  options.l2_reg = config.l2_reg;
+  options.fit_bias = true;
+  options.initial_dim = 1u << config.hash_bits;
+  return options;
+}
+
+}  // namespace cdpipe

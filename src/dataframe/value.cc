@@ -1,0 +1,76 @@
+#include "src/dataframe/value.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kTimestamp:
+      return "timestamp";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  if (std::holds_alternative<std::monostate>(data_)) return ValueType::kNull;
+  if (std::holds_alternative<double>(data_)) return ValueType::kDouble;
+  if (std::holds_alternative<int64_t>(data_)) {
+    return is_timestamp_ ? ValueType::kTimestamp : ValueType::kInt64;
+  }
+  return ValueType::kString;
+}
+
+double Value::double_value() const {
+  CDPIPE_CHECK(std::holds_alternative<double>(data_))
+      << "value is " << ValueTypeName(type()) << ", not double";
+  return std::get<double>(data_);
+}
+
+int64_t Value::int64_value() const {
+  CDPIPE_CHECK(std::holds_alternative<int64_t>(data_))
+      << "value is " << ValueTypeName(type()) << ", not int64/timestamp";
+  return std::get<int64_t>(data_);
+}
+
+const std::string& Value::string_value() const {
+  CDPIPE_CHECK(std::holds_alternative<std::string>(data_))
+      << "value is " << ValueTypeName(type()) << ", not string";
+  return std::get<std::string>(data_);
+}
+
+Result<double> Value::AsDouble() const {
+  if (std::holds_alternative<double>(data_)) return std::get<double>(data_);
+  if (std::holds_alternative<int64_t>(data_)) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  return Status::FailedPrecondition(std::string("cannot widen ") +
+                                    ValueTypeName(type()) + " to double");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kDouble:
+      return StrFormat("%g", std::get<double>(data_));
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kTimestamp:
+      return FormatDateTime(std::get<int64_t>(data_));
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,45 @@
+#include "src/engine/execution_engine.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace cdpipe {
+
+ExecutionEngine::ExecutionEngine(size_t num_threads) {
+  if (num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+}
+
+size_t ExecutionEngine::num_threads() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+Status ExecutionEngine::ParallelFor(
+    size_t count, const std::function<Status(size_t)>& task) {
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < count; ++i) {
+      CDPIPE_RETURN_NOT_OK(task(i));
+    }
+    return Status::OK();
+  }
+  std::mutex mutex;
+  Status first_error = Status::OK();
+  size_t first_error_index = SIZE_MAX;
+  for (size_t i = 0; i < count; ++i) {
+    pool_->Submit([&, i] {
+      Status st = task(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::move(st);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+  return first_error;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,42 @@
+#ifndef CDPIPE_ENGINE_EXECUTION_ENGINE_H_
+#define CDPIPE_ENGINE_EXECUTION_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/thread_pool.h"
+
+namespace cdpipe {
+
+/// The paper runs on Apache Spark, which supplies both batch execution
+/// (proactive training / retraining over sampled chunks) and streaming
+/// execution (per-chunk online processing).  This engine is the from-scratch
+/// stand-in: per-chunk work runs inline on the caller's thread (the
+/// "streaming" path), and batch fan-out runs on an optional thread pool.
+///
+/// With `num_threads == 1` everything runs inline on the caller, which keeps
+/// experiments bit-for-bit deterministic; >1 parallelizes embarrassingly
+/// parallel per-chunk work such as re-materialization.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(size_t num_threads = 1);
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  size_t num_threads() const;
+
+  /// Runs `task(i)` for i in [0, count).  Tasks must be independent; any
+  /// returned error aborts with the first (lowest-index) failure.  Order of
+  /// side effects across tasks is unspecified when parallel.
+  Status ParallelFor(size_t count, const std::function<Status(size_t)>& task);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_ENGINE_EXECUTION_ENGINE_H_

@@ -1,0 +1,47 @@
+#ifndef CDPIPE_ENGINE_THREAD_POOL_H_
+#define CDPIPE_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdpipe {
+
+/// A fixed-size worker pool with a simple FIFO queue.  Used by the
+/// execution engine to transform sampled chunks in parallel during
+/// proactive training and retraining (the stand-in for the paper's Spark
+/// executors).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_ENGINE_THREAD_POOL_H_

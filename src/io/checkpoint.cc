@@ -1,0 +1,70 @@
+#include "src/io/checkpoint.h"
+
+#include <fstream>
+
+#include "src/io/serialization.h"
+
+namespace cdpipe {
+namespace {
+constexpr char kMagic[] = "cdpipe-checkpoint";
+constexpr int64_t kVersion = 1;
+}  // namespace
+
+Status SaveCheckpoint(const PipelineManager& manager, std::ostream* os) {
+  if (os == nullptr) return Status::InvalidArgument("null output stream");
+  Serializer out(os);
+  out.WriteString("magic", kMagic);
+  out.WriteInt("version", kVersion);
+  out.WriteString("optimizer.kind", manager.optimizer().name());
+  CDPIPE_RETURN_NOT_OK(manager.pipeline().SaveState(&out));
+  CDPIPE_RETURN_NOT_OK(manager.model().SaveState(&out));
+  CDPIPE_RETURN_NOT_OK(manager.optimizer().SaveState(&out));
+  if (!out.ok()) return Status::IoError("checkpoint write failed");
+  return Status::OK();
+}
+
+Status SaveCheckpointToFile(const PipelineManager& manager,
+                            const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  CDPIPE_RETURN_NOT_OK(SaveCheckpoint(manager, &file));
+  file.flush();
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(std::istream* is, PipelineManager* manager) {
+  if (is == nullptr) return Status::InvalidArgument("null input stream");
+  if (manager == nullptr) return Status::InvalidArgument("null manager");
+  Deserializer in(is);
+  CDPIPE_ASSIGN_OR_RETURN(std::string magic, in.ReadString("magic"));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a cdpipe checkpoint");
+  }
+  CDPIPE_ASSIGN_OR_RETURN(int64_t version, in.ReadInt("version"));
+  if (version != kVersion) {
+    return Status::Unimplemented("unsupported checkpoint version " +
+                                 std::to_string(version));
+  }
+  CDPIPE_ASSIGN_OR_RETURN(std::string optimizer_kind,
+                          in.ReadString("optimizer.kind"));
+  if (optimizer_kind != manager->optimizer().name()) {
+    return Status::InvalidArgument(
+        "checkpoint optimizer '" + optimizer_kind +
+        "' does not match deployed optimizer '" +
+        manager->optimizer().name() + "'");
+  }
+  CDPIPE_RETURN_NOT_OK(manager->mutable_pipeline()->LoadState(&in));
+  CDPIPE_RETURN_NOT_OK(manager->mutable_model()->LoadState(&in));
+  CDPIPE_RETURN_NOT_OK(manager->mutable_optimizer()->LoadState(&in));
+  return Status::OK();
+}
+
+Status LoadCheckpointFromFile(const std::string& path,
+                              PipelineManager* manager) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  return LoadCheckpoint(&file, manager);
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,34 @@
+#ifndef CDPIPE_IO_CHECKPOINT_H_
+#define CDPIPE_IO_CHECKPOINT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/pipeline_manager.h"
+
+namespace cdpipe {
+
+/// Full deployed-state checkpointing: pipeline statistics + model weights +
+/// optimizer adaptation state.  Because proactive training only depends on
+/// this state (§3.3 — iterations of SGD are conditionally independent given
+/// the model and the learning rate state), a deployment restored from a
+/// checkpoint continues *bit-exactly* where the saved one stopped.
+///
+/// Checkpoints carry state only, not structure: the loader must construct a
+/// PipelineManager with the identical pipeline component sequence, model
+/// loss, and optimizer kind.  All mismatches are detected and reported.
+
+/// Writes a checkpoint of the manager's deployed state.
+Status SaveCheckpoint(const PipelineManager& manager, std::ostream* os);
+Status SaveCheckpointToFile(const PipelineManager& manager,
+                            const std::string& path);
+
+/// Restores a checkpoint into an identically structured manager.
+Status LoadCheckpoint(std::istream* is, PipelineManager* manager);
+Status LoadCheckpointFromFile(const std::string& path,
+                              PipelineManager* manager);
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_IO_CHECKPOINT_H_

@@ -1,0 +1,92 @@
+#ifndef CDPIPE_LINALG_SPARSE_VECTOR_H_
+#define CDPIPE_LINALG_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cdpipe {
+
+class DenseVector;
+
+/// Sorted-coordinate sparse vector.  Indices are strictly increasing
+/// uint32_t; a nominal dimension bounds them.  This is the feature
+/// representation produced by one-hot encoding and feature hashing, whose
+/// O(p) storage guarantee (paper §3.2.1) depends on sparsity.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(uint32_t dim) : dim_(dim) {}
+
+  /// Constructs from parallel arrays; indices must be strictly increasing
+  /// and < dim.  Returns InvalidArgument otherwise.
+  static Result<SparseVector> FromSorted(uint32_t dim,
+                                         std::vector<uint32_t> indices,
+                                         std::vector<double> values);
+
+  /// Constructs from possibly unsorted (index, value) pairs; duplicate
+  /// indices are summed.
+  static SparseVector FromUnsorted(
+      uint32_t dim, std::vector<std::pair<uint32_t, double>> entries);
+
+  SparseVector(const SparseVector&) = default;
+  SparseVector& operator=(const SparseVector&) = default;
+  SparseVector(SparseVector&&) noexcept = default;
+  SparseVector& operator=(SparseVector&&) noexcept = default;
+
+  uint32_t dim() const { return dim_; }
+  size_t nnz() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+
+  const std::vector<uint32_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Appends an entry with index greater than all current indices.
+  /// CHECK-fails on out-of-order or out-of-range appends (programmer error).
+  void PushBack(uint32_t index, double value);
+
+  /// Value at `index` (0.0 when absent); O(log nnz).
+  double Get(uint32_t index) const;
+
+  /// In-place scale of the stored values.
+  void Scale(double alpha);
+
+  /// Applies `f(index, value) -> new_value` to every stored entry.
+  template <typename F>
+  void TransformValues(F&& f) {
+    for (size_t k = 0; k < indices_.size(); ++k) {
+      values_[k] = f(indices_[k], values_[k]);
+    }
+  }
+
+  double Dot(const DenseVector& dense) const;
+  double Dot(const SparseVector& other) const;
+  double L2NormSquared() const;
+  double L2Norm() const;
+
+  /// Converts to a dense vector of dimension dim().
+  DenseVector ToDense() const;
+
+  /// Memory footprint in bytes (index + value arrays).
+  size_t ByteSize() const {
+    return indices_.size() * (sizeof(uint32_t) + sizeof(double));
+  }
+
+  std::string ToString(size_t max_elements = 16) const;
+
+  friend bool operator==(const SparseVector& a, const SparseVector& b) {
+    return a.dim_ == b.dim_ && a.indices_ == b.indices_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  uint32_t dim_ = 0;
+  std::vector<uint32_t> indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_LINALG_SPARSE_VECTOR_H_

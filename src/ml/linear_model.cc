@@ -1,0 +1,149 @@
+#include "src/ml/linear_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+LinearModel::LinearModel(Options options)
+    : options_(options), weights_(options.initial_dim) {}
+
+double LinearModel::Predict(const SparseVector& x) const {
+  // Dimensions beyond the current weight vector have zero weight; guard so
+  // prediction works before EnsureDim has seen the widest batch.
+  double score = options_.fit_bias ? bias_ : 0.0;
+  const auto& idx = x.indices();
+  const auto& val = x.values();
+  const size_t dim = weights_.dim();
+  for (size_t k = 0; k < idx.size(); ++k) {
+    if (idx[k] < dim) score += val[k] * weights_[idx[k]];
+  }
+  return score;
+}
+
+void LinearModel::EnsureDim(uint32_t dim) {
+  if (dim > weights_.dim()) weights_.Resize(dim);
+}
+
+Status LinearModel::ComputeGradient(const FeatureData& batch,
+                                    std::vector<GradEntry>* grad,
+                                    double* bias_grad) const {
+  grad->clear();
+  *bias_grad = 0.0;
+  if (batch.num_rows() == 0) return Status::OK();
+  CDPIPE_RETURN_NOT_OK(batch.Validate());
+  if (batch.dim > weights_.dim()) {
+    return Status::FailedPrecondition(
+        "batch dim " + std::to_string(batch.dim) + " exceeds model dim " +
+        std::to_string(weights_.dim()) + "; call EnsureDim first");
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(batch.num_rows());
+  std::unordered_map<uint32_t, double> accum;
+  accum.reserve(batch.num_rows() * 4);
+  double bias_accum = 0.0;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    const SparseVector& x = batch.features[r];
+    const LossGrad lg = EvalLoss(options_.loss, Predict(x), batch.labels[r]);
+    const auto& idx = x.indices();
+    const auto& val = x.values();
+    for (size_t k = 0; k < idx.size(); ++k) {
+      // Zero-loss examples still *touch* their coordinates so the lazy L2
+      // term below applies to every coordinate present in the mini-batch.
+      accum[idx[k]] += lg.dloss_dpred * val[k];
+    }
+    bias_accum += lg.dloss_dpred;
+  }
+
+  grad->reserve(accum.size());
+  for (const auto& [index, g] : accum) {
+    double value = g * inv_n;
+    if (options_.l2_reg > 0.0) value += options_.l2_reg * weights_[index];
+    if (value != 0.0) grad->push_back(GradEntry{index, value});
+  }
+  std::sort(grad->begin(), grad->end(),
+            [](const GradEntry& a, const GradEntry& b) {
+              return a.index < b.index;
+            });
+  *bias_grad = options_.fit_bias ? bias_accum * inv_n : 0.0;
+  return Status::OK();
+}
+
+void LinearModel::ApplyGradient(const std::vector<GradEntry>& grad,
+                                double bias_grad, Optimizer* optimizer) {
+  CDPIPE_CHECK(optimizer != nullptr);
+  optimizer->Step(grad, options_.fit_bias ? bias_grad : 0.0, &weights_,
+                  &bias_);
+  if (!options_.fit_bias) bias_ = 0.0;
+}
+
+Status LinearModel::Update(const FeatureData& batch, Optimizer* optimizer) {
+  if (batch.num_rows() == 0) return Status::OK();
+  if (options_.fit_bias && options_.init_bias_to_label_mean &&
+      !bias_initialized_) {
+    double sum = 0.0;
+    for (double label : batch.labels) sum += label;
+    bias_ = sum / static_cast<double>(batch.num_rows());
+    bias_initialized_ = true;
+  }
+  EnsureDim(batch.dim);
+  std::vector<GradEntry> grad;
+  double bias_grad = 0.0;
+  CDPIPE_RETURN_NOT_OK(ComputeGradient(batch, &grad, &bias_grad));
+  ApplyGradient(grad, bias_grad, optimizer);
+  return Status::OK();
+}
+
+Result<double> LinearModel::AverageLoss(const FeatureData& batch) const {
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("cannot compute loss of an empty batch");
+  }
+  double total = 0.0;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    total += EvalLoss(options_.loss, Predict(batch.features[r]),
+                      batch.labels[r])
+                 .loss;
+  }
+  return total / static_cast<double>(batch.num_rows());
+}
+
+Status LinearModel::SaveState(Serializer* out) const {
+  out->WriteString("model.loss", LossKindName(options_.loss));
+  out->WriteDouble("model.l2_reg", options_.l2_reg);
+  out->WriteInt("model.fit_bias", options_.fit_bias ? 1 : 0);
+  out->WriteInt("model.bias_initialized", bias_initialized_ ? 1 : 0);
+  out->WriteDouble("model.bias", bias_);
+  out->WriteDoubleVector("model.weights", weights_.values());
+  return Status::OK();
+}
+
+Status LinearModel::LoadState(Deserializer* in) {
+  CDPIPE_ASSIGN_OR_RETURN(std::string loss, in->ReadString("model.loss"));
+  if (loss != LossKindName(options_.loss)) {
+    return Status::InvalidArgument("checkpoint loss '" + loss +
+                                   "' does not match model loss '" +
+                                   LossKindName(options_.loss) + "'");
+  }
+  CDPIPE_ASSIGN_OR_RETURN(options_.l2_reg, in->ReadDouble("model.l2_reg"));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t fit_bias, in->ReadInt("model.fit_bias"));
+  options_.fit_bias = fit_bias != 0;
+  CDPIPE_ASSIGN_OR_RETURN(int64_t bias_initialized,
+                          in->ReadInt("model.bias_initialized"));
+  bias_initialized_ = bias_initialized != 0;
+  CDPIPE_ASSIGN_OR_RETURN(bias_, in->ReadDouble("model.bias"));
+  CDPIPE_ASSIGN_OR_RETURN(std::vector<double> weights,
+                          in->ReadDoubleVector("model.weights"));
+  weights_ = DenseVector(std::move(weights));
+  return Status::OK();
+}
+
+std::string LinearModel::ToString() const {
+  return StrFormat("LinearModel(loss=%s, l2=%g, dim=%u, |w|=%.4f, b=%.4f)",
+                   LossKindName(options_.loss), options_.l2_reg, dim(),
+                   weights_.L2Norm(), bias_);
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,119 @@
+#ifndef CDPIPE_ML_METRICS_H_
+#define CDPIPE_ML_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cdpipe {
+
+/// Streaming evaluation metric: feed (prediction, label) pairs, read the
+/// aggregate at any point.  All implementations are O(1) per observation —
+/// a requirement of prequential evaluation over long deployments.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  virtual std::string name() const = 0;
+  virtual void Add(double prediction, double label) = 0;
+  /// Current aggregate value; 0 before any observation.
+  virtual double Value() const = 0;
+  virtual int64_t Count() const = 0;
+  /// Sum of the additive per-example error signal underlying the metric
+  /// (error count for misclassification, sum of squared errors for
+  /// RMSE/RMSLE, sum of absolute errors for MAE).  Differences of this mass
+  /// across a chunk give the chunk's mean error signal — the input of the
+  /// drift detectors.
+  virtual double AggregateMass() const { return Value() * Count(); }
+  virtual void Reset() = 0;
+  virtual std::unique_ptr<Metric> Clone() const = 0;
+};
+
+/// Fraction of observations where sign(prediction) != sign(label).
+/// Labels are expected in {-1, +1}; the raw margin is accepted as the
+/// prediction.
+class MisclassificationRate final : public Metric {
+ public:
+  std::string name() const override { return "misclassification"; }
+  void Add(double prediction, double label) override;
+  double Value() const override;
+  int64_t Count() const override { return count_; }
+  void Reset() override { count_ = errors_ = 0; }
+  std::unique_ptr<Metric> Clone() const override {
+    return std::make_unique<MisclassificationRate>(*this);
+  }
+
+ private:
+  int64_t count_ = 0;
+  int64_t errors_ = 0;
+};
+
+/// Root mean squared error.  When predictions and labels are log1p-space
+/// values (as in the Taxi pipeline, which regresses log1p(duration)), this
+/// equals the RMSLE of the raw-space predictions.
+class Rmse final : public Metric {
+ public:
+  std::string name() const override { return "rmse"; }
+  void Add(double prediction, double label) override;
+  double Value() const override;
+  int64_t Count() const override { return count_; }
+  double AggregateMass() const override { return sum_squared_error_; }
+  void Reset() override {
+    count_ = 0;
+    sum_squared_error_ = 0.0;
+  }
+  std::unique_ptr<Metric> Clone() const override {
+    return std::make_unique<Rmse>(*this);
+  }
+
+ private:
+  int64_t count_ = 0;
+  double sum_squared_error_ = 0.0;
+};
+
+/// Root mean squared logarithmic error over raw-space (non-negative)
+/// predictions and labels: sqrt(mean((log1p(p) - log1p(y))^2)).  Negative
+/// predictions are clamped to 0, matching the Kaggle evaluation.
+class Rmsle final : public Metric {
+ public:
+  std::string name() const override { return "rmsle"; }
+  void Add(double prediction, double label) override;
+  double Value() const override;
+  int64_t Count() const override { return count_; }
+  double AggregateMass() const override { return sum_squared_error_; }
+  void Reset() override {
+    count_ = 0;
+    sum_squared_error_ = 0.0;
+  }
+  std::unique_ptr<Metric> Clone() const override {
+    return std::make_unique<Rmsle>(*this);
+  }
+
+ private:
+  int64_t count_ = 0;
+  double sum_squared_error_ = 0.0;
+};
+
+/// Mean absolute error.
+class MeanAbsoluteError final : public Metric {
+ public:
+  std::string name() const override { return "mae"; }
+  void Add(double prediction, double label) override;
+  double Value() const override;
+  int64_t Count() const override { return count_; }
+  void Reset() override {
+    count_ = 0;
+    sum_abs_error_ = 0.0;
+  }
+  std::unique_ptr<Metric> Clone() const override {
+    return std::make_unique<MeanAbsoluteError>(*this);
+  }
+
+ private:
+  int64_t count_ = 0;
+  double sum_abs_error_ = 0.0;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_ML_METRICS_H_

@@ -1,0 +1,50 @@
+#include "src/ml/prequential.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+PrequentialEvaluator::PrequentialEvaluator(std::unique_ptr<Metric> metric,
+                                           size_t window)
+    : metric_(std::move(metric)), window_(window) {
+  CDPIPE_CHECK(metric_ != nullptr);
+  if (window_ > 0) {
+    window_current_ = metric_->Clone();
+    window_current_->Reset();
+    window_previous_ = metric_->Clone();
+    window_previous_->Reset();
+  }
+}
+
+void PrequentialEvaluator::Observe(double prediction, double label) {
+  metric_->Add(prediction, label);
+  if (window_ == 0) return;
+  window_current_->Add(prediction, label);
+  ++window_fill_;
+  const int64_t half = static_cast<int64_t>(window_ / 2) + 1;
+  if (window_fill_ >= half) {
+    // Rotate: the previous half-window becomes the tail, current restarts.
+    std::swap(window_previous_, window_current_);
+    window_current_->Reset();
+    window_fill_ = 0;
+  }
+}
+
+double PrequentialEvaluator::WindowedValue() const {
+  if (window_ == 0) return metric_->Value();
+  // Blend the two half-windows by their observation counts.
+  const int64_t n_prev = window_previous_->Count();
+  const int64_t n_cur = window_current_->Count();
+  if (n_prev + n_cur == 0) return metric_->Value();
+  const double weighted = window_previous_->Value() * n_prev +
+                          window_current_->Value() * n_cur;
+  return weighted / static_cast<double>(n_prev + n_cur);
+}
+
+void PrequentialEvaluator::RecordPoint() {
+  curve_.push_back(Point{metric_->Count(), metric_->Value(), WindowedValue()});
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,99 @@
+#include "src/ml/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+Result<BatchTrainer::Stats> BatchTrainer::Train(
+    const std::vector<const FeatureData*>& chunks, LinearModel* model,
+    Optimizer* optimizer, Rng* rng) const {
+  CDPIPE_CHECK(model != nullptr);
+  CDPIPE_CHECK(optimizer != nullptr);
+  CDPIPE_CHECK(rng != nullptr);
+
+  // Build a flat index of (chunk, row) pairs once; epochs shuffle it.
+  uint32_t max_dim = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> index;
+  for (uint32_t c = 0; c < chunks.size(); ++c) {
+    const FeatureData* chunk = chunks[c];
+    if (chunk == nullptr) {
+      return Status::InvalidArgument("null chunk passed to BatchTrainer");
+    }
+    CDPIPE_RETURN_NOT_OK(chunk->Validate());
+    max_dim = std::max(max_dim, chunk->dim);
+    for (uint32_t r = 0; r < chunk->num_rows(); ++r) {
+      index.emplace_back(c, r);
+    }
+  }
+  Stats stats;
+  if (index.empty()) return stats;
+  model->EnsureDim(max_dim);
+
+  const size_t batch_size =
+      options_.batch_size == 0 ? index.size()
+                               : std::min(options_.batch_size, index.size());
+
+  DenseVector previous = model->weights();
+  double previous_bias = model->bias();
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    if (options_.shuffle) rng->Shuffle(&index);
+    for (size_t start = 0; start < index.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, index.size());
+      FeatureData batch;
+      batch.dim = max_dim;
+      batch.features.reserve(end - start);
+      batch.labels.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const auto [c, r] = index[i];
+        SparseVector x = chunks[c]->features[r];
+        // Normalize nominal dims so Validate() passes on mixed-dim inputs.
+        if (x.dim() != max_dim) {
+          auto widened = SparseVector::FromSorted(
+              max_dim, std::vector<uint32_t>(x.indices()),
+              std::vector<double>(x.values()));
+          if (!widened.ok()) return widened.status();
+          x = std::move(widened).value();
+        }
+        batch.features.push_back(std::move(x));
+        batch.labels.push_back(chunks[c]->labels[r]);
+      }
+      CDPIPE_RETURN_NOT_OK(model->Update(batch, optimizer));
+      ++stats.sgd_iterations;
+      stats.examples_visited += static_cast<int64_t>(end - start);
+    }
+    ++stats.epochs_run;
+
+    // Convergence test on the relative parameter change.
+    DenseVector delta = model->weights();
+    delta.Axpy(-1.0, previous);
+    const double bias_delta = model->bias() - previous_bias;
+    const double change =
+        std::sqrt(delta.L2NormSquared() + bias_delta * bias_delta);
+    const double scale = std::max(1.0, previous.L2Norm());
+    previous = model->weights();
+    previous_bias = model->bias();
+    if (change / scale < options_.tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+
+  // Final loss over everything (diagnostic only).
+  double total = 0.0;
+  int64_t n = 0;
+  for (const FeatureData* chunk : chunks) {
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      total += EvalLoss(model->options().loss,
+                        model->Predict(chunk->features[r]), chunk->labels[r])
+                   .loss;
+      ++n;
+    }
+  }
+  stats.final_loss = n > 0 ? total / static_cast<double>(n) : 0.0;
+  return stats;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,55 @@
+#ifndef CDPIPE_ML_TRAINER_H_
+#define CDPIPE_ML_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+#include "src/ml/linear_model.h"
+#include "src/ml/optimizer.h"
+
+namespace cdpipe {
+
+/// Offline mini-batch SGD training over a fixed dataset, used for the
+/// initial model training and by the periodical deployment's full
+/// retraining.  Iterates epochs of shuffled mini-batches until the relative
+/// change of the weight vector falls below `tolerance` or `max_epochs` is
+/// reached.
+class BatchTrainer {
+ public:
+  struct Options {
+    int max_epochs = 20;
+    /// Examples per mini-batch; 0 = full batch (batch gradient descent,
+    /// i.e. the paper's sampling ratio of 1.0 for initial training).
+    size_t batch_size = 0;
+    /// Stop when ||w_t - w_{t-1}|| / max(1, ||w_{t-1}||) < tolerance after
+    /// an epoch.
+    double tolerance = 1e-4;
+    bool shuffle = true;
+  };
+
+  struct Stats {
+    int epochs_run = 0;
+    int64_t sgd_iterations = 0;
+    int64_t examples_visited = 0;
+    bool converged = false;
+    double final_loss = 0.0;
+  };
+
+  explicit BatchTrainer(Options options) : options_(options) {}
+
+  /// Trains `model` in place over the concatenation of `chunks` using
+  /// `optimizer`.  Deterministic given `rng`.
+  Result<Stats> Train(const std::vector<const FeatureData*>& chunks,
+                      LinearModel* model, Optimizer* optimizer,
+                      Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_ML_TRAINER_H_

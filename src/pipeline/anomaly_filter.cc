@@ -1,0 +1,58 @@
+#include "src/pipeline/anomaly_filter.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+AnomalyFilter::AnomalyFilter(std::string rule_name, Predicate keep)
+    : rule_name_(std::move(rule_name)), keep_(std::move(keep)) {
+  CDPIPE_CHECK(keep_ != nullptr);
+}
+
+std::unique_ptr<AnomalyFilter> AnomalyFilter::KeepInRange(
+    const std::string& column, double min, double max) {
+  auto predicate = [column, min, max](const Schema& schema,
+                                      const Row& row) -> Result<bool> {
+    CDPIPE_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column));
+    const Value& v = row[idx];
+    if (v.is_null()) return false;
+    CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    return d >= min && d <= max;
+  };
+  return std::make_unique<AnomalyFilter>(
+      StrFormat("%s in [%g, %g]", column.c_str(), min, max),
+      std::move(predicate));
+}
+
+Result<DataBatch> AnomalyFilter::Transform(const DataBatch& batch) const {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition("anomaly_filter expects a table batch");
+  }
+  TableData out;
+  out.schema = table->schema;
+  out.rows.reserve(table->rows.size());
+  size_t dropped = 0;
+  for (const Row& row : table->rows) {
+    CDPIPE_ASSIGN_OR_RETURN(bool keep, keep_(*table->schema, row));
+    if (keep) {
+      out.rows.push_back(row);
+    } else {
+      ++dropped;
+    }
+  }
+  dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  return DataBatch(std::move(out));
+}
+
+std::unique_ptr<PipelineComponent> AnomalyFilter::Clone() const {
+  auto out = std::make_unique<AnomalyFilter>(rule_name_, keep_);
+  out->dropped_.store(dropped_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,50 @@
+#ifndef CDPIPE_PIPELINE_ANOMALY_FILTER_H_
+#define CDPIPE_PIPELINE_ANOMALY_FILTER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/component.h"
+
+namespace cdpipe {
+
+/// Drops anomalous rows from a table batch using a user-supplied predicate —
+/// the Taxi pipeline's anomaly detector (trips longer than 22 hours, shorter
+/// than 10 seconds, or with zero distance).  Stateless data transformation
+/// (a filter, Table 1 of the paper).
+class AnomalyFilter : public PipelineComponent {
+ public:
+  /// Returns true when the row should be KEPT.  Errors propagate.
+  using Predicate =
+      std::function<Result<bool>(const Schema& schema, const Row& row)>;
+
+  AnomalyFilter(std::string rule_name, Predicate keep);
+
+  /// Keeps rows whose numeric `column` lies within [min, max] (inclusive);
+  /// null cells are dropped as anomalous.
+  static std::unique_ptr<AnomalyFilter> KeepInRange(const std::string& column,
+                                                    double min, double max);
+
+  std::string name() const override { return "anomaly_filter(" + rule_name_ + ")"; }
+  ComponentKind kind() const override {
+    return ComponentKind::kDataTransformation;
+  }
+
+  Result<DataBatch> Transform(const DataBatch& batch) const override;
+  std::unique_ptr<PipelineComponent> Clone() const override;
+
+  /// Total rows dropped since construction.
+  size_t num_dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string rule_name_;
+  Predicate keep_;
+  mutable std::atomic<size_t> dropped_{0};
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_PIPELINE_ANOMALY_FILTER_H_

@@ -1,0 +1,45 @@
+#include "src/pipeline/column_projector.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+ColumnProjector::ColumnProjector(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  CDPIPE_CHECK(!columns_.empty());
+}
+
+Result<DataBatch> ColumnProjector::Transform(const DataBatch& batch) const {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "column_projector expects a table batch");
+  }
+  std::vector<size_t> indices(columns_.size());
+  std::vector<Field> fields(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    CDPIPE_ASSIGN_OR_RETURN(indices[i],
+                            table->schema->FieldIndex(columns_[i]));
+    fields[i] = table->schema->field(indices[i]);
+  }
+  CDPIPE_ASSIGN_OR_RETURN(auto schema, Schema::Make(std::move(fields)));
+
+  TableData out;
+  out.schema = schema;
+  out.rows.reserve(table->rows.size());
+  for (const Row& row : table->rows) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.rows.push_back(std::move(projected));
+  }
+  return DataBatch(std::move(out));
+}
+
+std::unique_ptr<PipelineComponent> ColumnProjector::Clone() const {
+  return std::make_unique<ColumnProjector>(columns_);
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,17 @@
+#include "src/pipeline/component.h"
+
+namespace cdpipe {
+
+const char* ComponentKindName(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kDataTransformation:
+      return "data-transformation";
+    case ComponentKind::kFeatureSelection:
+      return "feature-selection";
+    case ComponentKind::kFeatureExtraction:
+      return "feature-extraction";
+  }
+  return "?";
+}
+
+}  // namespace cdpipe

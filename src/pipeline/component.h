@@ -1,0 +1,94 @@
+#ifndef CDPIPE_PIPELINE_COMPONENT_H_
+#define CDPIPE_PIPELINE_COMPONENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+#include "src/io/serialization.h"
+
+namespace cdpipe {
+
+/// Component classes from Table 1 of the paper.  The class determines the
+/// unit of work and the size complexity of the output (all our components
+/// are O(p) in the input size; one-hot encoding stays O(p) because it emits
+/// sparse vectors, see §3.2.1).
+enum class ComponentKind {
+  kDataTransformation,  ///< per-row filtering or mapping
+  kFeatureSelection,    ///< per-column selection
+  kFeatureExtraction,   ///< per-column generation of new columns
+};
+
+const char* ComponentKindName(ComponentKind kind);
+
+/// A stage of a deployed machine learning pipeline.
+///
+/// Per §4.3 of the paper, every component implements two methods:
+///
+///  - `Update`: incrementally folds a batch into the component's internal
+///    statistics (the *online statistics computation* optimization).  Called
+///    exactly once per arriving training chunk, on the online path, before
+///    `Transform`.  Never called during re-materialization or inference.
+///  - `Transform`: applies the component using the current statistics.  Must
+///    not mutate statistics, so the same features are produced for training
+///    data and prediction queries (train/serve consistency) and evicted
+///    feature chunks can be re-materialized at any later time.
+///
+/// Components whose statistics cannot be maintained incrementally (exact
+/// percentiles, PCA, ...) are outside the platform's contract (§3.1); the
+/// `supports_online_statistics` flag exists so such a component can be
+/// rejected at pipeline construction time.
+class PipelineComponent {
+ public:
+  virtual ~PipelineComponent() = default;
+
+  virtual std::string name() const = 0;
+  virtual ComponentKind kind() const = 0;
+
+  /// True when the component maintains statistics (is stateful).
+  virtual bool is_stateful() const { return false; }
+
+  /// True when the statistics can be folded in incrementally.  Stateless
+  /// components trivially support this.  The Pipeline refuses stateful
+  /// components that return false here.
+  virtual bool supports_online_statistics() const { return true; }
+
+  /// Incrementally updates internal statistics from `batch`.
+  virtual Status Update(const DataBatch& batch) {
+    (void)batch;
+    return Status::OK();
+  }
+
+  /// Transforms `batch` using current statistics.  Must be const: the
+  /// platform calls this concurrently during proactive training.
+  virtual Result<DataBatch> Transform(const DataBatch& batch) const = 0;
+
+  /// Discards all statistics, returning the component to its initial state.
+  virtual void Reset() {}
+
+  /// Deep copy, including statistics.  Used for warm starting and for the
+  /// NoOptimization baseline (which recomputes statistics on throwaway
+  /// clones).
+  virtual std::unique_ptr<PipelineComponent> Clone() const = 0;
+
+  /// One-line human-readable summary of the statistics (for reports).
+  virtual std::string DescribeState() const { return "(stateless)"; }
+
+  /// Checkpointing: persists / restores the component's statistics.
+  /// Stateless components have nothing to save.  Configuration is NOT
+  /// saved — the loader must reconstruct the same pipeline structure first.
+  virtual Status SaveState(Serializer* out) const {
+    (void)out;
+    return Status::OK();
+  }
+  virtual Status LoadState(Deserializer* in) {
+    (void)in;
+    return Status::OK();
+  }
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_PIPELINE_COMPONENT_H_

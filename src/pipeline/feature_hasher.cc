@@ -1,0 +1,72 @@
+#include "src/pipeline/feature_hasher.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+namespace {
+
+/// 64-bit finalizer from MurmurHash3; good avalanche behaviour for integer
+/// keys at negligible cost.
+uint64_t MixHash(uint64_t key, uint64_t seed) {
+  uint64_t h = key ^ seed;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+FeatureHasher::FeatureHasher(Options options) : options_(options) {
+  CDPIPE_CHECK_GT(options_.bits, 0u);
+  CDPIPE_CHECK_LE(options_.bits, 30u);
+}
+
+uint32_t FeatureHasher::BucketOf(uint32_t index) const {
+  return static_cast<uint32_t>(MixHash(index, options_.seed)) &
+         (output_dim() - 1);
+}
+
+double FeatureHasher::SignOf(uint32_t index) const {
+  if (!options_.signed_hash) return 1.0;
+  // An independent bit of the mixed hash decides the sign.
+  return (MixHash(index, options_.seed ^ 0x9E3779B97F4A7C15ULL) & 1u) != 0
+             ? 1.0
+             : -1.0;
+}
+
+Result<DataBatch> FeatureHasher::Transform(const DataBatch& batch) const {
+  const auto* features = std::get_if<FeatureData>(&batch);
+  if (features == nullptr) {
+    return Status::FailedPrecondition(
+        "feature_hasher expects a vectorized batch; place it after the "
+        "parser / encoder");
+  }
+  FeatureData out;
+  out.dim = output_dim();
+  out.features.reserve(features->features.size());
+  out.labels = features->labels;
+  for (const SparseVector& x : features->features) {
+    std::vector<std::pair<uint32_t, double>> entries;
+    entries.reserve(x.nnz());
+    const auto& idx = x.indices();
+    const auto& val = x.values();
+    for (size_t k = 0; k < idx.size(); ++k) {
+      entries.emplace_back(BucketOf(idx[k]), SignOf(idx[k]) * val[k]);
+    }
+    out.features.push_back(
+        SparseVector::FromUnsorted(out.dim, std::move(entries)));
+  }
+  return DataBatch(std::move(out));
+}
+
+std::unique_ptr<PipelineComponent> FeatureHasher::Clone() const {
+  return std::make_unique<FeatureHasher>(options_);
+}
+
+}  // namespace cdpipe

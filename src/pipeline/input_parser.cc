@@ -1,0 +1,191 @@
+#include "src/pipeline/input_parser.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+namespace {
+
+/// Extracts the single "raw" string column the parser consumes.
+Result<const TableData*> ExpectRawTable(const DataBatch& batch) {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "input_parser expects a table batch (is it the first component?)");
+  }
+  if (table->schema == nullptr || table->schema->num_fields() != 1 ||
+      table->schema->field(0).type != ValueType::kString) {
+    return Status::FailedPrecondition(
+        "input_parser expects a single string column");
+  }
+  return table;
+}
+
+}  // namespace
+
+InputParser::InputParser(Options options) : options_(std::move(options)) {
+  if (options_.format == Format::kLibSvm) {
+    CDPIPE_CHECK_GT(options_.feature_dim, 0u);
+  } else {
+    CDPIPE_CHECK(options_.csv_schema != nullptr);
+  }
+}
+
+Result<DataBatch> InputParser::Transform(const DataBatch& batch) const {
+  CDPIPE_ASSIGN_OR_RETURN(const TableData* table, ExpectRawTable(batch));
+  if (options_.format == Format::kLibSvm) return TransformLibSvm(*table);
+  return TransformCsv(*table);
+}
+
+Result<DataBatch> InputParser::TransformLibSvm(const TableData& table) const {
+  FeatureData out;
+  out.dim = options_.feature_dim;
+  out.features.reserve(table.rows.size());
+  out.labels.reserve(table.rows.size());
+
+  for (const Row& row : table.rows) {
+    const std::string& line = row[0].string_value();
+    const std::vector<std::string_view> tokens = SplitString(line, ' ');
+    bool bad = tokens.empty();
+    double label = 0.0;
+    std::vector<std::pair<uint32_t, double>> entries;
+    if (!bad) {
+      Result<double> parsed_label = ParseDouble(tokens[0]);
+      if (parsed_label.ok()) {
+        label = *parsed_label;
+        if (options_.binarize_labels) label = label > 0.0 ? 1.0 : -1.0;
+      } else {
+        bad = true;
+      }
+    }
+    for (size_t t = 1; !bad && t < tokens.size(); ++t) {
+      std::string_view token = StripWhitespace(tokens[t]);
+      if (token.empty()) continue;
+      const size_t colon = token.find(':');
+      if (colon == std::string_view::npos) {
+        bad = true;
+        break;
+      }
+      Result<int64_t> index = ParseInt64(token.substr(0, colon));
+      std::string_view value_text = token.substr(colon + 1);
+      double value = 0.0;
+      if (value_text == "nan") {
+        value = std::numeric_limits<double>::quiet_NaN();
+      } else {
+        Result<double> parsed = ParseDouble(value_text);
+        if (!parsed.ok()) {
+          bad = true;
+          break;
+        }
+        value = *parsed;
+      }
+      if (!index.ok() || *index < 0 ||
+          *index >= static_cast<int64_t>(options_.feature_dim)) {
+        bad = true;
+        break;
+      }
+      entries.emplace_back(static_cast<uint32_t>(*index), value);
+    }
+    if (bad) {
+      if (options_.strict) {
+        return Status::InvalidArgument("malformed libsvm record: '" + line +
+                                       "'");
+      }
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out.features.push_back(
+        SparseVector::FromUnsorted(options_.feature_dim, std::move(entries)));
+    out.labels.push_back(label);
+  }
+  return DataBatch(std::move(out));
+}
+
+Result<DataBatch> InputParser::TransformCsv(const TableData& table) const {
+  const Schema& schema = *options_.csv_schema;
+  TableData out;
+  out.schema = options_.csv_schema;
+  out.rows.reserve(table.rows.size());
+
+  for (const Row& row : table.rows) {
+    const std::string& line = row[0].string_value();
+    const std::vector<std::string_view> fields =
+        SplitString(line, options_.delimiter);
+    if (fields.size() != schema.num_fields()) {
+      if (options_.strict) {
+        return Status::InvalidArgument(
+            "csv record has " + std::to_string(fields.size()) +
+            " fields, schema expects " + std::to_string(schema.num_fields()));
+      }
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Row parsed;
+    parsed.reserve(fields.size());
+    bool bad = false;
+    for (size_t i = 0; i < fields.size() && !bad; ++i) {
+      const std::string_view text = StripWhitespace(fields[i]);
+      if (text.empty()) {
+        parsed.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.field(i).type) {
+        case ValueType::kDouble: {
+          Result<double> v = ParseDouble(text);
+          if (v.ok()) {
+            parsed.push_back(Value::Double(*v));
+          } else {
+            bad = true;
+          }
+          break;
+        }
+        case ValueType::kInt64: {
+          Result<int64_t> v = ParseInt64(text);
+          if (v.ok()) {
+            parsed.push_back(Value::Int64(*v));
+          } else {
+            bad = true;
+          }
+          break;
+        }
+        case ValueType::kTimestamp: {
+          Result<int64_t> v = ParseDateTime(text);
+          if (v.ok()) {
+            parsed.push_back(Value::Timestamp(*v));
+          } else {
+            bad = true;
+          }
+          break;
+        }
+        case ValueType::kString:
+          parsed.push_back(Value::String(std::string(text)));
+          break;
+        case ValueType::kNull:
+          parsed.push_back(Value::Null());
+          break;
+      }
+    }
+    if (bad) {
+      if (options_.strict) {
+        return Status::InvalidArgument("malformed csv record: '" + line + "'");
+      }
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out.rows.push_back(std::move(parsed));
+  }
+  return DataBatch(std::move(out));
+}
+
+std::unique_ptr<PipelineComponent> InputParser::Clone() const {
+  auto out = std::make_unique<InputParser>(options_);
+  out->malformed_.store(malformed_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cdpipe

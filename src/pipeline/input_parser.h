@@ -1,0 +1,69 @@
+#ifndef CDPIPE_PIPELINE_INPUT_PARSER_H_
+#define CDPIPE_PIPELINE_INPUT_PARSER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/component.h"
+
+namespace cdpipe {
+
+/// Parses raw text records (the single-"raw"-column table produced by
+/// `Pipeline::WrapRaw`) into typed data.  Two formats cover the paper's
+/// pipelines:
+///
+///  - **LibSvm**: `"<label> <index>:<value> <index>:<value> ..."` — the URL
+///    dataset's representation.  Produces FeatureData directly (labels are
+///    mapped to ±1 for classifiers).  A value spelled `nan` is parsed as a
+///    missing value, to be filled by the MissingValueImputer.
+///  - **Csv**: delimiter-separated fields parsed against a target schema —
+///    the Taxi dataset's representation.  Produces TableData.
+///
+/// Malformed records are dropped (and counted) unless `strict` is set, in
+/// which case parsing fails with InvalidArgument.  Dropping is the right
+/// deployment behaviour: one bad record must not stall the platform.
+class InputParser : public PipelineComponent {
+ public:
+  enum class Format { kLibSvm, kCsv };
+
+  struct Options {
+    Format format = Format::kLibSvm;
+    /// LibSvm: nominal feature dimension (indices must be < dim).
+    uint32_t feature_dim = 0;
+    /// LibSvm: map labels <= 0 to -1 and > 0 to +1 (classification).
+    bool binarize_labels = true;
+    /// Csv: target schema (field order matches column order).
+    std::shared_ptr<const Schema> csv_schema;
+    char delimiter = ',';
+    /// Fail on malformed records instead of dropping them.
+    bool strict = false;
+  };
+
+  explicit InputParser(Options options);
+
+  std::string name() const override { return "input_parser"; }
+  ComponentKind kind() const override {
+    return ComponentKind::kDataTransformation;
+  }
+
+  Result<DataBatch> Transform(const DataBatch& batch) const override;
+  std::unique_ptr<PipelineComponent> Clone() const override;
+
+  /// Total records dropped as malformed since construction.
+  size_t num_malformed() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Result<DataBatch> TransformLibSvm(const TableData& table) const;
+  Result<DataBatch> TransformCsv(const TableData& table) const;
+
+  Options options_;
+  mutable std::atomic<size_t> malformed_{0};
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_PIPELINE_INPUT_PARSER_H_

@@ -1,0 +1,128 @@
+#include "src/pipeline/missing_value_imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+MissingValueImputer::MissingValueImputer(Options options)
+    : options_(std::move(options)) {}
+
+Status MissingValueImputer::Update(const DataBatch& batch) {
+  if (const auto* features = std::get_if<FeatureData>(&batch)) {
+    for (const SparseVector& x : features->features) {
+      const auto& idx = x.indices();
+      const auto& val = x.values();
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (std::isnan(val[k])) continue;
+        RunningMean& rm = stats_[idx[k]];
+        rm.count += 1;
+        rm.sum += val[k];
+      }
+    }
+    return Status::OK();
+  }
+  const auto& table = std::get<TableData>(batch);
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(size_t col,
+                            table.schema->FieldIndex(options_.columns[c]));
+    RunningMean& rm = stats_[static_cast<uint32_t>(c)];
+    for (const Row& row : table.rows) {
+      const Value& v = row[col];
+      if (v.is_null()) continue;
+      Result<double> d = v.AsDouble();
+      if (!d.ok()) {
+        return Status::FailedPrecondition("cannot impute non-numeric column " +
+                                          options_.columns[c]);
+      }
+      rm.count += 1;
+      rm.sum += *d;
+    }
+  }
+  return Status::OK();
+}
+
+Result<DataBatch> MissingValueImputer::Transform(const DataBatch& batch) const {
+  if (const auto* features = std::get_if<FeatureData>(&batch)) {
+    FeatureData out = *features;
+    for (SparseVector& x : out.features) {
+      x.TransformValues([this](uint32_t index, double value) {
+        return std::isnan(value) ? MeanForDimension(index) : value;
+      });
+    }
+    return DataBatch(std::move(out));
+  }
+  const auto& table = std::get<TableData>(batch);
+  TableData out = table;
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(size_t col,
+                            out.schema->FieldIndex(options_.columns[c]));
+    auto it = stats_.find(static_cast<uint32_t>(c));
+    const double fill = it != stats_.end()
+                            ? it->second.Mean(options_.default_value)
+                            : options_.default_value;
+    for (Row& row : out.rows) {
+      if (row[col].is_null()) row[col] = Value::Double(fill);
+    }
+  }
+  return DataBatch(std::move(out));
+}
+
+void MissingValueImputer::Reset() { stats_.clear(); }
+
+std::unique_ptr<PipelineComponent> MissingValueImputer::Clone() const {
+  auto out = std::make_unique<MissingValueImputer>(options_);
+  out->stats_ = stats_;
+  return out;
+}
+
+std::string MissingValueImputer::DescribeState() const {
+  return StrFormat("means tracked for %zu dimensions", stats_.size());
+}
+
+Status MissingValueImputer::SaveState(Serializer* out) const {
+  // Deterministic order: sort by dimension.
+  std::vector<std::pair<uint32_t, RunningMean>> sorted(stats_.begin(),
+                                                       stats_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<uint32_t> dims;
+  std::vector<double> counts;
+  std::vector<double> sums;
+  dims.reserve(sorted.size());
+  for (const auto& [dim, rm] : sorted) {
+    dims.push_back(dim);
+    counts.push_back(static_cast<double>(rm.count));
+    sums.push_back(rm.sum);
+  }
+  out->WriteUint32Vector("imputer.dims", dims);
+  out->WriteDoubleVector("imputer.counts", counts);
+  out->WriteDoubleVector("imputer.sums", sums);
+  return Status::OK();
+}
+
+Status MissingValueImputer::LoadState(Deserializer* in) {
+  CDPIPE_ASSIGN_OR_RETURN(auto dims, in->ReadUint32Vector("imputer.dims"));
+  CDPIPE_ASSIGN_OR_RETURN(auto counts, in->ReadDoubleVector("imputer.counts"));
+  CDPIPE_ASSIGN_OR_RETURN(auto sums, in->ReadDoubleVector("imputer.sums"));
+  if (dims.size() != counts.size() || dims.size() != sums.size()) {
+    return Status::InvalidArgument("imputer state arrays misaligned");
+  }
+  stats_.clear();
+  for (size_t i = 0; i < dims.size(); ++i) {
+    stats_[dims[i]] = RunningMean{static_cast<int64_t>(counts[i]), sums[i]};
+  }
+  return Status::OK();
+}
+
+double MissingValueImputer::MeanForDimension(uint32_t dim) const {
+  auto it = stats_.find(dim);
+  if (it == stats_.end()) return options_.default_value;
+  return it->second.Mean(options_.default_value);
+}
+
+}  // namespace cdpipe

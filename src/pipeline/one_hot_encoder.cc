@@ -1,0 +1,172 @@
+#include "src/pipeline/one_hot_encoder.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+OneHotEncoder::OneHotEncoder(Options options) : options_(std::move(options)) {
+  CDPIPE_CHECK(!options_.label_column.empty());
+  uint32_t offset = static_cast<uint32_t>(options_.numeric_columns.size());
+  for (const CategoricalColumn& col : options_.categorical_columns) {
+    CDPIPE_CHECK_GT(col.max_cardinality, 0u);
+    block_offsets_.push_back(offset);
+    offset += col.max_cardinality;
+  }
+  output_dim_ = offset;
+  dictionaries_.resize(options_.categorical_columns.size());
+}
+
+Status OneHotEncoder::Update(const DataBatch& batch) {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "one_hot_encoder expects a table batch");
+  }
+  for (size_t c = 0; c < options_.categorical_columns.size(); ++c) {
+    const CategoricalColumn& col = options_.categorical_columns[c];
+    CDPIPE_ASSIGN_OR_RETURN(size_t idx, table->schema->FieldIndex(col.name));
+    auto& dict = dictionaries_[c];
+    for (const Row& row : table->rows) {
+      const Value& v = row[idx];
+      if (v.is_null()) continue;
+      if (v.type() != ValueType::kString) {
+        return Status::FailedPrecondition("categorical column " + col.name +
+                                          " must be a string column");
+      }
+      if (dict.size() < col.max_cardinality) {
+        dict.emplace(v.string_value(), static_cast<uint32_t>(dict.size()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t OneHotEncoder::SlotOf(size_t c, const std::string& value) const {
+  const auto& dict = dictionaries_[c];
+  auto it = dict.find(value);
+  if (it != dict.end()) return it->second;
+  // Unknown value (dictionary full or value never folded in): hash into the
+  // block so the category still contributes a stable feature.
+  const uint32_t capacity = options_.categorical_columns[c].max_cardinality;
+  return static_cast<uint32_t>(std::hash<std::string>{}(value) % capacity);
+}
+
+Result<DataBatch> OneHotEncoder::Transform(const DataBatch& batch) const {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "one_hot_encoder expects a table batch");
+  }
+  // Resolve all column positions once per batch.
+  std::vector<size_t> numeric_idx(options_.numeric_columns.size());
+  for (size_t i = 0; i < options_.numeric_columns.size(); ++i) {
+    CDPIPE_ASSIGN_OR_RETURN(
+        numeric_idx[i], table->schema->FieldIndex(options_.numeric_columns[i]));
+  }
+  std::vector<size_t> cat_idx(options_.categorical_columns.size());
+  for (size_t c = 0; c < options_.categorical_columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(
+        cat_idx[c],
+        table->schema->FieldIndex(options_.categorical_columns[c].name));
+  }
+  CDPIPE_ASSIGN_OR_RETURN(size_t label_idx,
+                          table->schema->FieldIndex(options_.label_column));
+
+  FeatureData out;
+  out.dim = output_dim_;
+  out.features.reserve(table->rows.size());
+  out.labels.reserve(table->rows.size());
+  for (const Row& row : table->rows) {
+    CDPIPE_ASSIGN_OR_RETURN(double label, row[label_idx].AsDouble());
+    std::vector<std::pair<uint32_t, double>> entries;
+    entries.reserve(numeric_idx.size() + cat_idx.size());
+    for (size_t i = 0; i < numeric_idx.size(); ++i) {
+      const Value& v = row[numeric_idx[i]];
+      if (v.is_null()) continue;  // treated as 0 (impute upstream)
+      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      if (d != 0.0) entries.emplace_back(static_cast<uint32_t>(i), d);
+    }
+    for (size_t c = 0; c < cat_idx.size(); ++c) {
+      const Value& v = row[cat_idx[c]];
+      if (v.is_null()) continue;
+      if (v.type() != ValueType::kString) {
+        return Status::FailedPrecondition(
+            "categorical column " + options_.categorical_columns[c].name +
+            " must be a string column");
+      }
+      entries.emplace_back(block_offsets_[c] + SlotOf(c, v.string_value()),
+                           1.0);
+    }
+    out.features.push_back(
+        SparseVector::FromUnsorted(output_dim_, std::move(entries)));
+    out.labels.push_back(label);
+  }
+  return DataBatch(std::move(out));
+}
+
+void OneHotEncoder::Reset() {
+  for (auto& dict : dictionaries_) dict.clear();
+}
+
+std::unique_ptr<PipelineComponent> OneHotEncoder::Clone() const {
+  auto out = std::make_unique<OneHotEncoder>(options_);
+  out->dictionaries_ = dictionaries_;
+  return out;
+}
+
+Status OneHotEncoder::SaveState(Serializer* out) const {
+  out->WriteInt("onehot.num_columns",
+                static_cast<int64_t>(dictionaries_.size()));
+  for (size_t c = 0; c < dictionaries_.size(); ++c) {
+    // Deterministic order: by assigned slot.
+    std::vector<std::pair<std::string, uint32_t>> sorted(
+        dictionaries_[c].begin(), dictionaries_[c].end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second < b.second;
+    });
+    out->WriteInt("onehot.dict_size", static_cast<int64_t>(sorted.size()));
+    for (const auto& [value, slot] : sorted) {
+      out->WriteString("onehot.value", value);
+      out->WriteInt("onehot.slot", slot);
+    }
+  }
+  return Status::OK();
+}
+
+Status OneHotEncoder::LoadState(Deserializer* in) {
+  CDPIPE_ASSIGN_OR_RETURN(int64_t num_columns,
+                          in->ReadInt("onehot.num_columns"));
+  if (num_columns != static_cast<int64_t>(dictionaries_.size())) {
+    return Status::InvalidArgument(
+        "one-hot checkpoint has a different number of categorical columns");
+  }
+  for (auto& dict : dictionaries_) {
+    dict.clear();
+    CDPIPE_ASSIGN_OR_RETURN(int64_t size, in->ReadInt("onehot.dict_size"));
+    for (int64_t i = 0; i < size; ++i) {
+      CDPIPE_ASSIGN_OR_RETURN(std::string value,
+                              in->ReadString("onehot.value"));
+      CDPIPE_ASSIGN_OR_RETURN(int64_t slot, in->ReadInt("onehot.slot"));
+      dict.emplace(std::move(value), static_cast<uint32_t>(slot));
+    }
+  }
+  return Status::OK();
+}
+
+std::string OneHotEncoder::DescribeState() const {
+  std::string out = "dictionaries:";
+  for (size_t c = 0; c < dictionaries_.size(); ++c) {
+    out += StrFormat(" %s=%zu/%u", options_.categorical_columns[c].name.c_str(),
+                     dictionaries_[c].size(),
+                     options_.categorical_columns[c].max_cardinality);
+  }
+  return out;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,150 @@
+#include "src/pipeline/pipeline.h"
+
+#include <utility>
+
+namespace cdpipe {
+namespace {
+
+/// The pipeline contract: the final batch must be vectorized features.
+Result<FeatureData> FinishBatch(DataBatch batch, const std::string& context) {
+  if (auto* features = std::get_if<FeatureData>(&batch)) {
+    CDPIPE_RETURN_NOT_OK(features->Validate());
+    return std::move(*features);
+  }
+  return Status::FailedPrecondition(
+      "pipeline did not end in a vectorizing component (" + context +
+      " produced a table batch); append a FeatureHasher, OneHotEncoder, or "
+      "VectorAssembler");
+}
+
+void CountScan(size_t* rows_scanned, const DataBatch& batch) {
+  if (rows_scanned != nullptr) *rows_scanned += BatchNumRows(batch);
+}
+
+}  // namespace
+
+Status Pipeline::AddComponent(std::unique_ptr<PipelineComponent> component) {
+  if (component == nullptr) {
+    return Status::InvalidArgument("component must not be null");
+  }
+  if (component->is_stateful() && !component->supports_online_statistics()) {
+    return Status::FailedPrecondition(
+        "component '" + component->name() +
+        "' keeps statistics that cannot be computed incrementally; the "
+        "platform does not support such components (paper, section 3.1)");
+  }
+  components_.push_back(std::move(component));
+  return Status::OK();
+}
+
+TableData Pipeline::WrapRaw(const RawChunk& chunk) {
+  static const std::shared_ptr<const Schema> kRawSchema =
+      std::move(Schema::Make({Field{"raw", ValueType::kString}})).ValueOrDie();
+  TableData table;
+  table.schema = kRawSchema;
+  table.rows.reserve(chunk.records.size());
+  for (const std::string& record : chunk.records) {
+    table.rows.push_back(Row{Value::String(record)});
+  }
+  return table;
+}
+
+Result<FeatureData> Pipeline::UpdateAndTransform(const RawChunk& chunk,
+                                                 size_t* rows_scanned) {
+  DataBatch batch = WrapRaw(chunk);
+  for (const auto& component : components_) {
+    if (component->is_stateful()) {
+      CountScan(rows_scanned, batch);  // the statistics-update scan
+      CDPIPE_RETURN_NOT_OK(component->Update(batch));
+    }
+    CountScan(rows_scanned, batch);  // the transform scan
+    CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+  }
+  return FinishBatch(std::move(batch), ToString());
+}
+
+Result<FeatureData> Pipeline::Transform(const RawChunk& chunk,
+                                        size_t* rows_scanned) const {
+  DataBatch batch = WrapRaw(chunk);
+  for (const auto& component : components_) {
+    CountScan(rows_scanned, batch);
+    CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+  }
+  return FinishBatch(std::move(batch), ToString());
+}
+
+Result<FeatureData> Pipeline::TransformRecomputingStatistics(
+    const RawChunk& chunk, size_t* rows_scanned) const {
+  DataBatch batch = WrapRaw(chunk);
+  for (const auto& component : components_) {
+    if (component->is_stateful()) {
+      // Without online statistics computation the platform has to rescan the
+      // chunk to rebuild the component's statistics before transforming.
+      std::unique_ptr<PipelineComponent> scratch = component->Clone();
+      scratch->Reset();
+      CountScan(rows_scanned, batch);  // the recomputation scan
+      CDPIPE_RETURN_NOT_OK(scratch->Update(batch));
+      CountScan(rows_scanned, batch);
+      CDPIPE_ASSIGN_OR_RETURN(batch, scratch->Transform(batch));
+    } else {
+      CountScan(rows_scanned, batch);
+      CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+    }
+  }
+  return FinishBatch(std::move(batch), ToString());
+}
+
+std::unique_ptr<Pipeline> Pipeline::Clone() const {
+  auto out = std::make_unique<Pipeline>();
+  for (const auto& component : components_) {
+    out->components_.push_back(component->Clone());
+  }
+  return out;
+}
+
+void Pipeline::Reset() {
+  for (const auto& component : components_) component->Reset();
+}
+
+Status Pipeline::SaveState(Serializer* out) const {
+  out->WriteInt("pipeline.num_components",
+                static_cast<int64_t>(components_.size()));
+  for (const auto& component : components_) {
+    out->WriteString("pipeline.component", component->name());
+    CDPIPE_RETURN_NOT_OK(component->SaveState(out));
+  }
+  return Status::OK();
+}
+
+Status Pipeline::LoadState(Deserializer* in) {
+  CDPIPE_ASSIGN_OR_RETURN(int64_t count,
+                          in->ReadInt("pipeline.num_components"));
+  if (count != static_cast<int64_t>(components_.size())) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) +
+        " components, pipeline has " + std::to_string(components_.size()));
+  }
+  for (const auto& component : components_) {
+    CDPIPE_ASSIGN_OR_RETURN(std::string name,
+                            in->ReadString("pipeline.component"));
+    if (name != component->name()) {
+      return Status::InvalidArgument("checkpoint component '" + name +
+                                     "' does not match pipeline component '" +
+                                     component->name() + "'");
+    }
+    CDPIPE_RETURN_NOT_OK(component->LoadState(in));
+  }
+  return Status::OK();
+}
+
+std::string Pipeline::ToString() const {
+  std::string out = "Pipeline[";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += components_[i]->name();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace cdpipe

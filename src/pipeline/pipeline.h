@@ -1,0 +1,90 @@
+#ifndef CDPIPE_PIPELINE_PIPELINE_H_
+#define CDPIPE_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+#include "src/pipeline/component.h"
+
+namespace cdpipe {
+
+/// An ordered sequence of pipeline components ending in a vectorizing stage,
+/// i.e. the full preprocessing part of a deployed ML pipeline.  The model is
+/// deliberately *not* part of this class — it is attached by the
+/// PipelineManager so the platform can swap training strategies without
+/// touching preprocessing.
+///
+/// The pipeline owns its components.  Statistics live inside the components;
+/// the two entry points mirror the paper's two data paths:
+///
+///  - `UpdateAndTransform` — the online path for arriving training chunks:
+///    every component first folds the batch into its statistics, then
+///    transforms it (online statistics computation, §3.1).
+///  - `Transform` — the pure path for prediction queries and for
+///    re-materializing evicted feature chunks (§3.2): statistics are only
+///    read, never written, so replayed historical data cannot skew them.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+  Pipeline(Pipeline&&) noexcept = default;
+  Pipeline& operator=(Pipeline&&) noexcept = default;
+
+  /// Appends a component.  Fails with FailedPrecondition if the component is
+  /// stateful but does not support online statistics computation (§3.1: the
+  /// platform does not support such components).
+  Status AddComponent(std::unique_ptr<PipelineComponent> component);
+
+  size_t num_components() const { return components_.size(); }
+  const PipelineComponent& component(size_t i) const { return *components_[i]; }
+
+  /// Wraps a raw chunk into the pipeline's entry representation: a table
+  /// with a single string column named "raw".
+  static TableData WrapRaw(const RawChunk& chunk);
+
+  /// Online path: Update then Transform through every component.  Output
+  /// must be FeatureData (the pipeline must end in a vectorizing stage).
+  /// `rows_scanned`, when non-null, accumulates the number of (row ×
+  /// component) scans performed, for cost accounting.
+  Result<FeatureData> UpdateAndTransform(const RawChunk& chunk,
+                                         size_t* rows_scanned = nullptr);
+
+  /// Pure path: Transform only.  Used for prediction queries and dynamic
+  /// re-materialization.
+  Result<FeatureData> Transform(const RawChunk& chunk,
+                                size_t* rows_scanned = nullptr) const;
+
+  /// The NoOptimization baseline (§5.4): processes the chunk as if online
+  /// statistics computation did not exist — each stateful component's
+  /// statistics are recomputed from scratch *for this chunk* on a throwaway
+  /// clone (one extra scan per stateful component), then the chunk is
+  /// transformed.  The deployed statistics are not touched.
+  Result<FeatureData> TransformRecomputingStatistics(
+      const RawChunk& chunk, size_t* rows_scanned = nullptr) const;
+
+  /// Deep copy of the pipeline including component statistics (warm start).
+  std::unique_ptr<Pipeline> Clone() const;
+
+  /// Resets the statistics of every component.
+  void Reset();
+
+  std::string ToString() const;
+
+  /// Checkpointing: persists / restores the statistics of every component.
+  /// The loader must have built an identically structured pipeline; the
+  /// component names are verified.
+  Status SaveState(Serializer* out) const;
+  Status LoadState(Deserializer* in);
+
+ private:
+  std::vector<std::unique_ptr<PipelineComponent>> components_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_PIPELINE_PIPELINE_H_

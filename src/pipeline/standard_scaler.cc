@@ -1,0 +1,192 @@
+#include "src/pipeline/standard_scaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+namespace {
+constexpr double kMinStdDev = 1e-12;
+}  // namespace
+
+StandardScaler::StandardScaler(Options options)
+    : options_(std::move(options)) {}
+
+Status StandardScaler::Update(const DataBatch& batch) {
+  if (const auto* features = std::get_if<FeatureData>(&batch)) {
+    total_rows_ += static_cast<int64_t>(features->num_rows());
+    for (const SparseVector& x : features->features) {
+      const auto& idx = x.indices();
+      const auto& val = x.values();
+      for (size_t k = 0; k < idx.size(); ++k) {
+        if (std::isnan(val[k])) continue;  // imputation happens upstream
+        Moments& m = stats_[idx[k]];
+        m.sum += val[k];
+        m.sum_squares += val[k] * val[k];
+      }
+    }
+    return Status::OK();
+  }
+  const auto& table = std::get<TableData>(batch);
+  table_mode_seen_ = true;
+  total_rows_ += static_cast<int64_t>(table.num_rows());
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(size_t col,
+                            table.schema->FieldIndex(options_.columns[c]));
+    Moments& m = stats_[static_cast<uint32_t>(c)];
+    int64_t& count = column_counts_[static_cast<uint32_t>(c)];
+    for (const Row& row : table.rows) {
+      const Value& v = row[col];
+      if (v.is_null()) continue;
+      Result<double> d = v.AsDouble();
+      if (!d.ok()) {
+        return Status::FailedPrecondition("cannot scale non-numeric column " +
+                                          options_.columns[c]);
+      }
+      m.sum += *d;
+      m.sum_squares += *d * *d;
+      ++count;
+    }
+  }
+  return Status::OK();
+}
+
+double StandardScaler::MeanOf(uint32_t key) const {
+  auto it = stats_.find(key);
+  if (it == stats_.end()) return 0.0;
+  int64_t n = total_rows_;
+  if (table_mode_seen_) {
+    auto cit = column_counts_.find(key);
+    n = cit != column_counts_.end() ? cit->second : 0;
+  }
+  if (n <= 0) return 0.0;
+  return it->second.sum / static_cast<double>(n);
+}
+
+double StandardScaler::VarianceOf(uint32_t key) const {
+  auto it = stats_.find(key);
+  if (it == stats_.end()) return 0.0;
+  int64_t n = total_rows_;
+  if (table_mode_seen_) {
+    auto cit = column_counts_.find(key);
+    n = cit != column_counts_.end() ? cit->second : 0;
+  }
+  if (n <= 0) return 0.0;
+  const double mean = it->second.sum / static_cast<double>(n);
+  const double var =
+      it->second.sum_squares / static_cast<double>(n) - mean * mean;
+  return var > 0.0 ? var : 0.0;
+}
+
+double StandardScaler::StdDevOf(uint32_t key) const {
+  return std::sqrt(VarianceOf(key));
+}
+
+Result<DataBatch> StandardScaler::Transform(const DataBatch& batch) const {
+  if (const auto* features = std::get_if<FeatureData>(&batch)) {
+    FeatureData out = *features;
+    for (SparseVector& x : out.features) {
+      x.TransformValues([this](uint32_t index, double value) {
+        const double sd = StdDevOf(index);
+        const double centered =
+            options_.with_mean ? value - MeanOf(index) : value;
+        return sd > kMinStdDev ? centered / sd : centered;
+      });
+    }
+    return DataBatch(std::move(out));
+  }
+  const auto& table = std::get<TableData>(batch);
+  TableData out = table;
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(size_t col,
+                            out.schema->FieldIndex(options_.columns[c]));
+    const uint32_t key = static_cast<uint32_t>(c);
+    const double mean = MeanOf(key);
+    const double sd = StdDevOf(key);
+    for (Row& row : out.rows) {
+      Value& v = row[col];
+      if (v.is_null()) continue;
+      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      const double scaled = sd > kMinStdDev ? (d - mean) / sd : d - mean;
+      v = Value::Double(scaled);
+    }
+  }
+  return DataBatch(std::move(out));
+}
+
+void StandardScaler::Reset() {
+  stats_.clear();
+  column_counts_.clear();
+  total_rows_ = 0;
+  table_mode_seen_ = false;
+}
+
+std::unique_ptr<PipelineComponent> StandardScaler::Clone() const {
+  auto out = std::make_unique<StandardScaler>(options_);
+  out->total_rows_ = total_rows_;
+  out->stats_ = stats_;
+  out->column_counts_ = column_counts_;
+  out->table_mode_seen_ = table_mode_seen_;
+  return out;
+}
+
+Status StandardScaler::SaveState(Serializer* out) const {
+  out->WriteInt("scaler.total_rows", total_rows_);
+  out->WriteInt("scaler.table_mode", table_mode_seen_ ? 1 : 0);
+  std::vector<std::pair<uint32_t, Moments>> sorted(stats_.begin(),
+                                                   stats_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<uint32_t> keys;
+  std::vector<double> sums;
+  std::vector<double> sum_squares;
+  for (const auto& [key, m] : sorted) {
+    keys.push_back(key);
+    sums.push_back(m.sum);
+    sum_squares.push_back(m.sum_squares);
+  }
+  out->WriteUint32Vector("scaler.keys", keys);
+  out->WriteDoubleVector("scaler.sums", sums);
+  out->WriteDoubleVector("scaler.sum_squares", sum_squares);
+  std::vector<std::pair<uint32_t, double>> counts;
+  for (const auto& [key, count] : column_counts_) {
+    counts.emplace_back(key, static_cast<double>(count));
+  }
+  std::sort(counts.begin(), counts.end());
+  out->WritePairs("scaler.column_counts", counts);
+  return Status::OK();
+}
+
+Status StandardScaler::LoadState(Deserializer* in) {
+  CDPIPE_ASSIGN_OR_RETURN(total_rows_, in->ReadInt("scaler.total_rows"));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t table_mode,
+                          in->ReadInt("scaler.table_mode"));
+  table_mode_seen_ = table_mode != 0;
+  CDPIPE_ASSIGN_OR_RETURN(auto keys, in->ReadUint32Vector("scaler.keys"));
+  CDPIPE_ASSIGN_OR_RETURN(auto sums, in->ReadDoubleVector("scaler.sums"));
+  CDPIPE_ASSIGN_OR_RETURN(auto sum_squares,
+                          in->ReadDoubleVector("scaler.sum_squares"));
+  if (keys.size() != sums.size() || keys.size() != sum_squares.size()) {
+    return Status::InvalidArgument("scaler state arrays misaligned");
+  }
+  stats_.clear();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    stats_[keys[i]] = Moments{sums[i], sum_squares[i]};
+  }
+  CDPIPE_ASSIGN_OR_RETURN(auto counts, in->ReadPairs("scaler.column_counts"));
+  column_counts_.clear();
+  for (const auto& [key, count] : counts) {
+    column_counts_[key] = static_cast<int64_t>(count);
+  }
+  return Status::OK();
+}
+
+std::string StandardScaler::DescribeState() const {
+  return StrFormat("moments for %zu dimensions over %lld rows", stats_.size(),
+                   static_cast<long long>(total_rows_));
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,129 @@
+#include "src/pipeline/taxi_feature_extractor.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace cdpipe {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double HaversineKm(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kDegToRad;
+  const double phi2 = lat2 * kDegToRad;
+  const double dphi = (lat2 - lat1) * kDegToRad;
+  const double dlambda = (lon2 - lon1) * kDegToRad;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                       std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, a)));
+}
+
+double BearingDegrees(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kDegToRad;
+  const double phi2 = lat2 * kDegToRad;
+  const double dlambda = (lon2 - lon1) * kDegToRad;
+  const double y = std::sin(dlambda) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlambda);
+  double bearing = std::atan2(y, x) / kDegToRad;
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+TaxiFeatureExtractor::TaxiFeatureExtractor(Options options)
+    : options_(std::move(options)) {}
+
+Result<DataBatch> TaxiFeatureExtractor::Transform(
+    const DataBatch& batch) const {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "taxi_feature_extractor expects a table batch");
+  }
+  const Schema& schema = *table->schema;
+  CDPIPE_ASSIGN_OR_RETURN(size_t pickup_dt,
+                          schema.FieldIndex(options_.pickup_datetime_column));
+  CDPIPE_ASSIGN_OR_RETURN(size_t dropoff_dt,
+                          schema.FieldIndex(options_.dropoff_datetime_column));
+  CDPIPE_ASSIGN_OR_RETURN(size_t plat,
+                          schema.FieldIndex(options_.pickup_lat_column));
+  CDPIPE_ASSIGN_OR_RETURN(size_t plon,
+                          schema.FieldIndex(options_.pickup_lon_column));
+  CDPIPE_ASSIGN_OR_RETURN(size_t dlat,
+                          schema.FieldIndex(options_.dropoff_lat_column));
+  CDPIPE_ASSIGN_OR_RETURN(size_t dlon,
+                          schema.FieldIndex(options_.dropoff_lon_column));
+
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema1,
+      table->schema->AddField(Field{"duration_s", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema2, schema1->AddField(Field{"haversine_km", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema3, schema2->AddField(Field{"bearing", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema4, schema3->AddField(Field{"hour_of_day", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema4a, schema4->AddField(Field{"hour_sin", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema4b, schema4a->AddField(Field{"hour_cos", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto schema5,
+      schema4b->AddField(Field{"day_of_week", ValueType::kDouble}));
+  CDPIPE_ASSIGN_OR_RETURN(
+      auto out_schema,
+      schema5->AddField(Field{"log_duration", ValueType::kDouble}));
+
+  TableData out;
+  out.schema = out_schema;
+  out.rows.reserve(table->rows.size());
+  for (const Row& row : table->rows) {
+    const Value& pu = row[pickup_dt];
+    const Value& doff = row[dropoff_dt];
+    if (pu.is_null() || doff.is_null() || row[plat].is_null() ||
+        row[plon].is_null() || row[dlat].is_null() || row[dlon].is_null()) {
+      // A trip without both endpoints cannot yield features or a label; the
+      // anomaly filter downstream would drop it anyway.
+      continue;
+    }
+    const double duration =
+        static_cast<double>(doff.int64_value() - pu.int64_value());
+    CDPIPE_ASSIGN_OR_RETURN(double lat1, row[plat].AsDouble());
+    CDPIPE_ASSIGN_OR_RETURN(double lon1, row[plon].AsDouble());
+    CDPIPE_ASSIGN_OR_RETURN(double lat2, row[dlat].AsDouble());
+    CDPIPE_ASSIGN_OR_RETURN(double lon2, row[dlon].AsDouble());
+    const double distance = HaversineKm(lat1, lon1, lat2, lon2);
+    const double bearing = BearingDegrees(lat1, lon1, lat2, lon2);
+    const int64_t pickup_seconds = pu.int64_value();
+    const double hour =
+        static_cast<double>((pickup_seconds % 86400 + 86400) % 86400) / 3600.0;
+    // 1970-01-01 was a Thursday; shift so 0 = Monday.
+    const int64_t days = pickup_seconds / 86400;
+    const double weekday = static_cast<double>(((days % 7) + 7 + 3) % 7);
+
+    Row extended = row;
+    extended.push_back(Value::Double(duration));
+    extended.push_back(Value::Double(distance));
+    extended.push_back(Value::Double(bearing));
+    extended.push_back(Value::Double(std::floor(hour)));
+    extended.push_back(Value::Double(std::sin(hour / 24.0 * 2.0 * M_PI)));
+    extended.push_back(Value::Double(std::cos(hour / 24.0 * 2.0 * M_PI)));
+    extended.push_back(Value::Double(weekday));
+    extended.push_back(
+        Value::Double(duration >= 0.0 ? std::log1p(duration) : 0.0));
+    out.rows.push_back(std::move(extended));
+  }
+  return DataBatch(std::move(out));
+}
+
+std::unique_ptr<PipelineComponent> TaxiFeatureExtractor::Clone() const {
+  return std::make_unique<TaxiFeatureExtractor>(options_);
+}
+
+}  // namespace cdpipe

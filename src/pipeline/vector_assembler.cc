@@ -1,0 +1,55 @@
+#include "src/pipeline/vector_assembler.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+VectorAssembler::VectorAssembler(Options options)
+    : options_(std::move(options)) {
+  CDPIPE_CHECK(!options_.feature_columns.empty());
+  CDPIPE_CHECK(!options_.label_column.empty());
+}
+
+Result<DataBatch> VectorAssembler::Transform(const DataBatch& batch) const {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "vector_assembler expects a table batch");
+  }
+  std::vector<size_t> columns(options_.feature_columns.size());
+  for (size_t i = 0; i < options_.feature_columns.size(); ++i) {
+    CDPIPE_ASSIGN_OR_RETURN(
+        columns[i], table->schema->FieldIndex(options_.feature_columns[i]));
+  }
+  CDPIPE_ASSIGN_OR_RETURN(size_t label_idx,
+                          table->schema->FieldIndex(options_.label_column));
+
+  FeatureData out;
+  out.dim = output_dim();
+  out.features.reserve(table->rows.size());
+  out.labels.reserve(table->rows.size());
+  for (const Row& row : table->rows) {
+    CDPIPE_ASSIGN_OR_RETURN(double label, row[label_idx].AsDouble());
+    SparseVector x(out.dim);
+    for (size_t i = 0; i < columns.size(); ++i) {
+      const Value& v = row[columns[i]];
+      if (v.is_null()) continue;  // null => 0 (impute upstream if undesired)
+      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      if (d != 0.0) x.PushBack(static_cast<uint32_t>(i), d);
+    }
+    if (options_.add_intercept) {
+      x.PushBack(static_cast<uint32_t>(columns.size()), 1.0);
+    }
+    out.features.push_back(std::move(x));
+    out.labels.push_back(label);
+  }
+  return DataBatch(std::move(out));
+}
+
+std::unique_ptr<PipelineComponent> VectorAssembler::Clone() const {
+  return std::make_unique<VectorAssembler>(options_);
+}
+
+}  // namespace cdpipe

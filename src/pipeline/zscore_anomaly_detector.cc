@@ -1,0 +1,157 @@
+#include "src/pipeline/zscore_anomaly_detector.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+ZScoreAnomalyDetector::ZScoreAnomalyDetector(Options options)
+    : options_(std::move(options)), stats_(options_.columns.size()) {
+  CDPIPE_CHECK(!options_.columns.empty());
+  CDPIPE_CHECK_GT(options_.threshold, 0.0);
+}
+
+Status ZScoreAnomalyDetector::Update(const DataBatch& batch) {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "zscore_anomaly_detector expects a table batch");
+  }
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(size_t col,
+                            table->schema->FieldIndex(options_.columns[c]));
+    for (const Row& row : table->rows) {
+      const Value& v = row[col];
+      if (v.is_null()) continue;
+      Result<double> d = v.AsDouble();
+      if (!d.ok()) {
+        return Status::FailedPrecondition(
+            "cannot compute z-scores for non-numeric column " +
+            options_.columns[c]);
+      }
+      stats_[c].Add(*d);
+    }
+  }
+  return Status::OK();
+}
+
+Result<DataBatch> ZScoreAnomalyDetector::Transform(
+    const DataBatch& batch) const {
+  const auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "zscore_anomaly_detector expects a table batch");
+  }
+  std::vector<size_t> column_indices(options_.columns.size());
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    CDPIPE_ASSIGN_OR_RETURN(
+        column_indices[c], table->schema->FieldIndex(options_.columns[c]));
+  }
+
+  TableData out;
+  out.schema = table->schema;
+  out.rows.reserve(table->rows.size());
+  size_t dropped = 0;
+  for (const Row& row : table->rows) {
+    bool anomalous = false;
+    for (size_t c = 0; c < column_indices.size() && !anomalous; ++c) {
+      const Welford& w = stats_[c];
+      if (w.count < options_.min_observations) continue;  // not calibrated
+      const Value& v = row[column_indices[c]];
+      if (v.is_null()) continue;
+      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      const double sd = std::sqrt(w.Variance());
+      if (sd <= 0.0) continue;  // constant column: nothing is anomalous
+      if (std::abs(d - w.mean) > options_.threshold * sd) anomalous = true;
+    }
+    if (anomalous) {
+      ++dropped;
+    } else {
+      out.rows.push_back(row);
+    }
+  }
+  dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  return DataBatch(std::move(out));
+}
+
+void ZScoreAnomalyDetector::Reset() {
+  for (Welford& w : stats_) w = Welford{};
+}
+
+std::unique_ptr<PipelineComponent> ZScoreAnomalyDetector::Clone() const {
+  auto out = std::make_unique<ZScoreAnomalyDetector>(options_);
+  out->stats_ = stats_;
+  out->dropped_.store(dropped_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  return out;
+}
+
+std::string ZScoreAnomalyDetector::DescribeState() const {
+  std::string out = StrFormat("threshold=%.1f sigma;", options_.threshold);
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    out += StrFormat(" %s: n=%lld mean=%.3g sd=%.3g",
+                     options_.columns[c].c_str(),
+                     static_cast<long long>(stats_[c].count), stats_[c].mean,
+                     std::sqrt(stats_[c].Variance()));
+  }
+  return out;
+}
+
+Status ZScoreAnomalyDetector::SaveState(Serializer* out) const {
+  out->WriteInt("zscore.num_columns",
+                static_cast<int64_t>(stats_.size()));
+  std::vector<double> counts;
+  std::vector<double> means;
+  std::vector<double> m2s;
+  for (const Welford& w : stats_) {
+    counts.push_back(static_cast<double>(w.count));
+    means.push_back(w.mean);
+    m2s.push_back(w.m2);
+  }
+  out->WriteDoubleVector("zscore.counts", counts);
+  out->WriteDoubleVector("zscore.means", means);
+  out->WriteDoubleVector("zscore.m2s", m2s);
+  return Status::OK();
+}
+
+Status ZScoreAnomalyDetector::LoadState(Deserializer* in) {
+  CDPIPE_ASSIGN_OR_RETURN(int64_t num_columns,
+                          in->ReadInt("zscore.num_columns"));
+  if (num_columns != static_cast<int64_t>(stats_.size())) {
+    return Status::InvalidArgument(
+        "z-score checkpoint has a different number of columns");
+  }
+  CDPIPE_ASSIGN_OR_RETURN(auto counts, in->ReadDoubleVector("zscore.counts"));
+  CDPIPE_ASSIGN_OR_RETURN(auto means, in->ReadDoubleVector("zscore.means"));
+  CDPIPE_ASSIGN_OR_RETURN(auto m2s, in->ReadDoubleVector("zscore.m2s"));
+  if (counts.size() != stats_.size() || means.size() != stats_.size() ||
+      m2s.size() != stats_.size()) {
+    return Status::InvalidArgument("z-score state arrays misaligned");
+  }
+  for (size_t c = 0; c < stats_.size(); ++c) {
+    stats_[c].count = static_cast<int64_t>(counts[c]);
+    stats_[c].mean = means[c];
+    stats_[c].m2 = m2s[c];
+  }
+  return Status::OK();
+}
+
+double ZScoreAnomalyDetector::MeanOf(size_t column) const {
+  CDPIPE_CHECK_LT(column, stats_.size());
+  return stats_[column].mean;
+}
+
+double ZScoreAnomalyDetector::StdDevOf(size_t column) const {
+  CDPIPE_CHECK_LT(column, stats_.size());
+  return std::sqrt(stats_[column].Variance());
+}
+
+int64_t ZScoreAnomalyDetector::CountOf(size_t column) const {
+  CDPIPE_CHECK_LT(column, stats_.size());
+  return stats_[column].count;
+}
+
+}  // namespace cdpipe

@@ -1,0 +1,77 @@
+#include "src/sampling/mu_theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+namespace {
+constexpr double kEulerMascheroni = 0.57721566490153286;
+}  // namespace
+
+double HarmonicNumber(size_t t) {
+  if (t == 0) return 0.0;
+  if (t <= 64) {
+    double h = 0.0;
+    for (size_t i = 1; i <= t; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  const double td = static_cast<double>(t);
+  return std::log(td) + kEulerMascheroni + 1.0 / (2.0 * td) -
+         1.0 / (12.0 * td * td);
+}
+
+double MuUniformAtN(size_t n, size_t materialized_chunks) {
+  if (n == 0) return 1.0;
+  if (n <= materialized_chunks) return 1.0;
+  return static_cast<double>(materialized_chunks) / static_cast<double>(n);
+}
+
+double MuUniform(size_t total_chunks, size_t materialized_chunks) {
+  CDPIPE_CHECK_GT(total_chunks, 0u);
+  const size_t m = std::min(materialized_chunks, total_chunks);
+  if (m == 0) return 0.0;
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(total_chunks);
+  return md * (1.0 + HarmonicNumber(total_chunks) - HarmonicNumber(m)) / nd;
+}
+
+double MuWindow(size_t total_chunks, size_t materialized_chunks,
+                size_t window) {
+  CDPIPE_CHECK_GT(total_chunks, 0u);
+  CDPIPE_CHECK_GT(window, 0u);
+  const size_t m = std::min(materialized_chunks, total_chunks);
+  if (m == 0) return 0.0;
+  if (m >= window) return 1.0;
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(total_chunks);
+  const double wd = static_cast<double>(std::min(window, total_chunks));
+  // μ = [m + m (H_w - H_m) + (N - w) m / w] / N, the last term only when
+  // the deployment actually reaches n > w chunks.
+  double acc = md + md * (HarmonicNumber(static_cast<size_t>(wd)) -
+                          HarmonicNumber(m));
+  if (nd > wd) acc += (nd - wd) * md / wd;
+  return acc / nd;
+}
+
+double MuTimeLinear(size_t total_chunks, size_t materialized_chunks) {
+  CDPIPE_CHECK_GT(total_chunks, 0u);
+  const size_t m = std::min(materialized_chunks, total_chunks);
+  if (m == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t n = 1; n <= total_chunks; ++n) {
+    if (n <= m) {
+      acc += 1.0;
+      continue;
+    }
+    // Total weight of the n live chunks is n(n+1)/2; the materialized
+    // suffix (the m newest) carries Σ_{i=n-m+1..n} i = m(2n-m+1)/2.
+    const double nd = static_cast<double>(n);
+    const double md = static_cast<double>(m);
+    acc += md * (2.0 * nd - md + 1.0) / (nd * (nd + 1.0));
+  }
+  return acc / static_cast<double>(total_chunks);
+}
+
+}  // namespace cdpipe

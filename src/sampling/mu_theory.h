@@ -1,0 +1,42 @@
+#ifndef CDPIPE_SAMPLING_MU_THEORY_H_
+#define CDPIPE_SAMPLING_MU_THEORY_H_
+
+#include <cstddef>
+
+namespace cdpipe {
+
+/// Closed-form estimates of the average materialization utilization rate μ
+/// from §3.2.2 of the paper.  μ is the expected fraction of sampled chunks
+/// that are already materialized (no re-materialization needed), averaged
+/// over a deployment in which one sampling operation follows every incoming
+/// chunk, for n = 1..N chunks, with the m *most recent* chunks materialized
+/// (oldest-first eviction).
+
+/// t-th harmonic number, exactly for small t and via the asymptotic
+/// expansion ln(t) + γ + 1/(2t) - 1/(12t²) for large t.
+double HarmonicNumber(size_t t);
+
+/// Formula (4): uniform sampling.
+///   μ = m (1 + H_N - H_m) / N  ≈  m (1 + ln N - ln m) / N
+double MuUniform(size_t total_chunks, size_t materialized_chunks);
+
+/// Formula (5): window-based sampling with window w.  μ = 1 when m >= w.
+double MuWindow(size_t total_chunks, size_t materialized_chunks,
+                size_t window);
+
+/// Time-based sampling with linear rank weights (weight of the i-th oldest
+/// of n chunks is i).  The paper gives no closed form; this evaluates the
+/// exact expectation
+///   μ_n = min(1, Σ_{i=n-m+1..n} i / Σ_{i=1..n} i)   (single-draw inclusion
+/// probability mass of the materialized suffix), averaged over n = 1..N —
+/// a first-order approximation that matches the paper's empirical values
+/// (0.68 at m/n = 0.2, 0.97 at m/n = 0.6 for N = 12000).
+double MuTimeLinear(size_t total_chunks, size_t materialized_chunks);
+
+/// Exact per-n utilization for uniform sampling, μ_n = min(1, m/n); exposed
+/// for property tests.
+double MuUniformAtN(size_t n, size_t materialized_chunks);
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_SAMPLING_MU_THEORY_H_

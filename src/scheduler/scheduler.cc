@@ -1,0 +1,73 @@
+#include "src/scheduler/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+
+StaticScheduler::StaticScheduler(double interval_seconds)
+    : interval_seconds_(interval_seconds) {
+  CDPIPE_CHECK_GT(interval_seconds_, 0.0);
+}
+
+std::string StaticScheduler::name() const {
+  return StrFormat("static(%.3fs)", interval_seconds_);
+}
+
+bool StaticScheduler::ShouldTrain(double now_seconds) {
+  if (!initialized_) {
+    next_due_ = now_seconds + interval_seconds_;
+    initialized_ = true;
+  }
+  return now_seconds >= next_due_;
+}
+
+void StaticScheduler::OnTrainingCompleted(double start_seconds,
+                                          double duration_seconds) {
+  (void)duration_seconds;
+  next_due_ = start_seconds + interval_seconds_;
+}
+
+DynamicScheduler::DynamicScheduler(Options options) : options_(options) {
+  CDPIPE_CHECK_GE(options_.slack, 1.0);
+  CDPIPE_CHECK_GT(options_.min_interval_seconds, 0.0);
+}
+
+std::string DynamicScheduler::name() const {
+  return StrFormat("dynamic(S=%.2f)", options_.slack);
+}
+
+bool DynamicScheduler::ShouldTrain(double now_seconds) {
+  if (!initialized_) {
+    next_due_ = now_seconds + options_.initial_interval_seconds;
+    initialized_ = true;
+  }
+  return now_seconds >= next_due_;
+}
+
+double DynamicScheduler::ComputeDelaySeconds(double training_seconds) const {
+  if (!query_rate_.initialized() || !latency_.initialized()) {
+    return std::max(options_.min_interval_seconds,
+                    options_.initial_interval_seconds);
+  }
+  // Formula (6): T' = S * T * pr * pl.
+  const double delay = options_.slack * training_seconds *
+                       query_rate_.value() * latency_.value();
+  return std::max(options_.min_interval_seconds, delay);
+}
+
+void DynamicScheduler::OnTrainingCompleted(double start_seconds,
+                                           double duration_seconds) {
+  next_due_ =
+      start_seconds + duration_seconds + ComputeDelaySeconds(duration_seconds);
+}
+
+void DynamicScheduler::OnPredictionLoad(double queries_per_second,
+                                        double latency_seconds_per_item) {
+  if (queries_per_second > 0.0) query_rate_.Observe(queries_per_second);
+  if (latency_seconds_per_item > 0.0) latency_.Observe(latency_seconds_per_item);
+}
+
+}  // namespace cdpipe

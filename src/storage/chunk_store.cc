@@ -1,0 +1,123 @@
+#include "src/storage/chunk_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+
+ChunkStore::ChunkStore(Options options) : options_(options) {}
+
+Status ChunkStore::PutRaw(RawChunk chunk) {
+  if (!raw_order_.empty() && chunk.id <= raw_order_.back()) {
+    return Status::InvalidArgument(
+        "raw chunk ids must be strictly increasing: got " +
+        std::to_string(chunk.id) + " after " +
+        std::to_string(raw_order_.back()));
+  }
+  raw_bytes_ += chunk.ByteSize();
+  raw_order_.push_back(chunk.id);
+  raw_.emplace(chunk.id, std::move(chunk));
+  ++counters_.raw_inserted;
+  if (options_.max_raw_chunks > 0) {
+    while (raw_order_.size() > options_.max_raw_chunks) DropOldestRaw();
+  }
+  return Status::OK();
+}
+
+Status ChunkStore::PutFeatures(FeatureChunk chunk) {
+  auto raw_it = raw_.find(chunk.origin_id);
+  if (raw_it == raw_.end()) {
+    return Status::NotFound("no raw chunk with id " +
+                            std::to_string(chunk.origin_id) +
+                            " to attach features to");
+  }
+  if (options_.max_materialized_chunks == 0) {
+    return Status::OK();  // materialization disabled (rate 0.0)
+  }
+  auto it = features_.find(chunk.origin_id);
+  if (it != features_.end()) {
+    // Replacement (re-materialization refresh): position in the eviction
+    // order is unchanged — age is defined by creation timestamp, not access.
+    feature_bytes_ -= it->second.ByteSize();
+    feature_bytes_ += chunk.ByteSize();
+    it->second = std::move(chunk);
+    return Status::OK();
+  }
+  feature_bytes_ += chunk.ByteSize();
+  // Keep materialized_order_ sorted by id: chunks normally arrive in order,
+  // but re-materialized older chunks may be re-inserted out of order.
+  const ChunkId id = chunk.origin_id;
+  if (materialized_order_.empty() || id > materialized_order_.back()) {
+    materialized_order_.push_back(id);
+  } else {
+    auto pos = std::lower_bound(materialized_order_.begin(),
+                                materialized_order_.end(), id);
+    materialized_order_.insert(pos, id);
+  }
+  features_.emplace(id, std::move(chunk));
+  ++counters_.features_inserted;
+  while (materialized_order_.size() > options_.max_materialized_chunks) {
+    EvictOldestMaterialized();
+  }
+  return Status::OK();
+}
+
+std::vector<ChunkId> ChunkStore::LiveIds() const {
+  return std::vector<ChunkId>(raw_order_.begin(), raw_order_.end());
+}
+
+const RawChunk* ChunkStore::GetRaw(ChunkId id) const {
+  auto it = raw_.find(id);
+  return it != raw_.end() ? &it->second : nullptr;
+}
+
+const FeatureChunk* ChunkStore::GetFeatures(ChunkId id) const {
+  auto it = features_.find(id);
+  return it != features_.end() ? &it->second : nullptr;
+}
+
+void ChunkStore::RecordSampleAccess(ChunkId id) {
+  if (IsMaterialized(id)) {
+    ++counters_.sample_hits;
+  } else {
+    ++counters_.sample_misses;
+  }
+}
+
+void ChunkStore::EvictOldestMaterialized() {
+  CDPIPE_CHECK(!materialized_order_.empty());
+  const ChunkId victim = materialized_order_.front();
+  materialized_order_.pop_front();
+  auto it = features_.find(victim);
+  CDPIPE_CHECK(it != features_.end());
+  feature_bytes_ -= it->second.ByteSize();
+  // Only the content goes; the identifier and the reference to the raw
+  // chunk survive implicitly (the raw chunk is still in the log).
+  features_.erase(it);
+  ++counters_.evictions;
+}
+
+void ChunkStore::DropOldestRaw() {
+  CDPIPE_CHECK(!raw_order_.empty());
+  const ChunkId victim = raw_order_.front();
+  raw_order_.pop_front();
+  auto raw_it = raw_.find(victim);
+  CDPIPE_CHECK(raw_it != raw_.end());
+  raw_bytes_ -= raw_it->second.ByteSize();
+  raw_.erase(raw_it);
+  ++counters_.raw_dropped;
+  // A feature chunk must never outlive its raw chunk.
+  auto feat_it = features_.find(victim);
+  if (feat_it != features_.end()) {
+    feature_bytes_ -= feat_it->second.ByteSize();
+    features_.erase(feat_it);
+    auto pos = std::find(materialized_order_.begin(),
+                         materialized_order_.end(), victim);
+    CDPIPE_CHECK(pos != materialized_order_.end());
+    materialized_order_.erase(pos);
+  }
+}
+
+}  // namespace cdpipe

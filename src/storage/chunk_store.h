@@ -1,0 +1,117 @@
+#ifndef CDPIPE_STORAGE_CHUNK_STORE_H_
+#define CDPIPE_STORAGE_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+
+namespace cdpipe {
+
+/// The platform's storage unit (paper §3.2, §4.2): an append-only log of
+/// raw data chunks plus a bounded cache of materialized feature chunks.
+///
+/// Invariants:
+///  - Raw chunks are always retained (up to the optional bound N; when N is
+///    exceeded the oldest raw chunk — and its feature chunk — disappear
+///    entirely and are no longer sampleable).
+///  - At most `max_materialized_chunks` (m) feature chunks are materialized;
+///    inserting beyond m evicts the *oldest* materialized feature chunk,
+///    keeping only its identifier and the reference to the raw chunk
+///    (§3.2: "similar to cache eviction").
+///  - A feature chunk's `origin_id` always refers to a live raw chunk.
+///
+/// The store also keeps the hit/miss counters from which the empirical
+/// materialization utilization rate μ (§3.2.2) is computed.
+class ChunkStore {
+ public:
+  struct Options {
+    /// Maximum number of raw chunks retained (0 = unbounded).  Corresponds
+    /// to N in the paper's analysis.
+    size_t max_raw_chunks = 0;
+    /// Maximum number of materialized feature chunks (m).  0 disables
+    /// materialization entirely (materialization rate 0.0).
+    size_t max_materialized_chunks = SIZE_MAX;
+  };
+
+  struct Counters {
+    int64_t raw_inserted = 0;
+    int64_t raw_dropped = 0;
+    int64_t features_inserted = 0;
+    int64_t evictions = 0;
+    /// Sampled chunks that were materialized / had to be re-materialized.
+    int64_t sample_hits = 0;
+    int64_t sample_misses = 0;
+
+    double EmpiricalMu() const {
+      const int64_t total = sample_hits + sample_misses;
+      return total > 0 ? static_cast<double>(sample_hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  ChunkStore() : ChunkStore(Options()) {}
+  explicit ChunkStore(Options options);
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  /// Appends a raw chunk.  Ids must be strictly increasing (they are
+  /// creation timestamps).  May drop the oldest raw chunk when bounded.
+  Status PutRaw(RawChunk chunk);
+
+  /// Stores the materialized features for an existing raw chunk; evicts the
+  /// oldest materialized feature chunk when over capacity.  Re-inserting
+  /// features for an already-materialized id replaces them (counts as a
+  /// re-materialization, not an insertion).
+  Status PutFeatures(FeatureChunk chunk);
+
+  size_t num_raw() const { return raw_order_.size(); }
+  size_t num_materialized() const { return materialized_order_.size(); }
+
+  /// Ids of all live raw chunks, oldest first.
+  std::vector<ChunkId> LiveIds() const;
+
+  bool Contains(ChunkId id) const { return raw_.count(id) > 0; }
+  bool IsMaterialized(ChunkId id) const { return features_.count(id) > 0; }
+
+  /// Null when the id is unknown (dropped or never inserted).
+  const RawChunk* GetRaw(ChunkId id) const;
+  /// Null when not materialized.
+  const FeatureChunk* GetFeatures(ChunkId id) const;
+
+  /// Records the outcome of one sampling operation for the μ accounting.
+  void RecordSampleAccess(ChunkId id);
+
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters{}; }
+
+  /// Total bytes of live raw chunks / materialized feature chunks.
+  size_t RawBytes() const { return raw_bytes_; }
+  size_t MaterializedBytes() const { return feature_bytes_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void EvictOldestMaterialized();
+  void DropOldestRaw();
+
+  Options options_;
+  Counters counters_;
+  std::unordered_map<ChunkId, RawChunk> raw_;
+  std::unordered_map<ChunkId, FeatureChunk> features_;
+  /// Insertion (== timestamp) order; fronts are oldest.
+  std::deque<ChunkId> raw_order_;
+  std::deque<ChunkId> materialized_order_;
+  size_t raw_bytes_ = 0;
+  size_t feature_bytes_ = 0;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_STORAGE_CHUNK_STORE_H_

@@ -1,0 +1,57 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : saved_level_(GetLogLevel()) {}
+  ~LoggingTest() override { SetLogLevel(saved_level_); }
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, LevelIsGlobalAndSettable) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, DisabledMessagesAreCheap) {
+  SetLogLevel(LogLevel::kError);
+  // Streaming into a suppressed message must not crash or emit.
+  for (int i = 0; i < 1000; ++i) {
+    CDPIPE_LOG(Debug) << "suppressed " << i;
+    CDPIPE_LOG(Info) << "also suppressed " << i;
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EnabledMessageDoesNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  CDPIPE_LOG(Warning) << "a visible warning with a number " << 42;
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CDPIPE_CHECK(1 + 1 == 2) << "never printed";
+  CDPIPE_CHECK_EQ(3, 3);
+  CDPIPE_CHECK_NE(3, 4);
+  CDPIPE_CHECK_LT(3, 4);
+  CDPIPE_CHECK_LE(4, 4);
+  CDPIPE_CHECK_GT(5, 4);
+  CDPIPE_CHECK_GE(5, 5);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ CDPIPE_CHECK(false) << "boom"; }, "check failed: false");
+  EXPECT_DEATH({ CDPIPE_CHECK_EQ(1, 2); }, "check failed");
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,42 @@
+#include "src/common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_GE(watch.ElapsedMicros(), 15000);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(100.0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 100.0);
+}
+
+TEST(ManualClockTest, AdvanceAndSet) {
+  ManualClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.0);
+  clock.AdvanceSeconds(2.5);
+  clock.AdvanceSeconds(1.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 4.0);
+  clock.SetSeconds(1.0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace cdpipe

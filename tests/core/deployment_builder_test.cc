@@ -1,0 +1,114 @@
+#include "src/core/deployment_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/url_stream.h"
+
+namespace cdpipe {
+namespace {
+
+UrlPipelineConfig PipeConfig() {
+  UrlPipelineConfig config;
+  config.raw_dim = 1000;
+  config.hash_bits = 7;
+  return config;
+}
+
+DeploymentBuilder FullBuilder() {
+  const UrlPipelineConfig config = PipeConfig();
+  DeploymentBuilder builder;
+  builder.Pipeline(MakeUrlPipeline(config))
+      .Model(std::make_unique<LinearModel>(MakeUrlModelOptions(config)))
+      .Optimizer(MakeOptimizer(OptimizerOptions{
+          .kind = OptimizerKind::kAdam, .learning_rate = 0.01}))
+      .Metric(std::make_unique<MisclassificationRate>())
+      .Seed(5);
+  return builder;
+}
+
+std::vector<RawChunk> SmallStream(size_t chunks) {
+  UrlStreamGenerator::Config config;
+  config.feature_dim = 1000;
+  config.initial_active_features = 100;
+  config.nnz_per_record = 8;
+  config.records_per_chunk = 20;
+  config.seed = 3;
+  UrlStreamGenerator generator(config);
+  return generator.Generate(chunks);
+}
+
+TEST(DeploymentBuilderTest, MissingIngredientsRejected) {
+  DeploymentBuilder empty;
+  auto result = empty.BuildOnline();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("Pipeline"), std::string::npos);
+
+  const UrlPipelineConfig config = PipeConfig();
+  DeploymentBuilder partial;
+  partial.Pipeline(MakeUrlPipeline(config));
+  auto result2 = partial.BuildContinuous();
+  ASSERT_FALSE(result2.ok());
+  EXPECT_NE(result2.status().message().find("Model"), std::string::npos);
+}
+
+TEST(DeploymentBuilderTest, BuildsOnline) {
+  auto deployment = FullBuilder().BuildOnline();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto report = (*deployment)->Run(SmallStream(10));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->strategy, "online");
+}
+
+TEST(DeploymentBuilderTest, BuildsContinuousWithKnobs) {
+  auto deployment = FullBuilder()
+                        .Sampler(SamplerKind::kWindow, 8)
+                        .MaterializedChunkBudget(5)
+                        .ProactiveEveryChunks(3)
+                        .ProactiveSampleChunks(4)
+                        .EvalWindow(100)
+                        .BuildContinuous();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto report = (*deployment)->Run(SmallStream(12));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->strategy, "continuous");
+  EXPECT_EQ(report->proactive_iterations, 4);
+}
+
+TEST(DeploymentBuilderTest, BuildsPeriodicalWithKnobs) {
+  auto deployment = FullBuilder()
+                        .RetrainEveryChunks(5)
+                        .WarmStart(false)
+                        .RetrainOptions(BatchTrainer::Options{
+                            .max_epochs = 2, .batch_size = 0})
+                        .BuildPeriodical();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto report = (*deployment)->Run(SmallStream(12));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->strategy, "periodical");
+  EXPECT_EQ(report->retrainings, 2);
+}
+
+TEST(DeploymentBuilderTest, BuildsContinuousWithDriftDetector) {
+  auto deployment =
+      FullBuilder()
+          .DriftDetector(MakeDriftDetector(DriftDetectorKind::kPageHinkley),
+                         /*burst_iterations=*/2, /*window_chunks=*/5)
+          .BuildContinuous();
+  ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+  auto report = (*deployment)->Run(SmallStream(10));
+  ASSERT_TRUE(report.ok());
+}
+
+TEST(DeploymentBuilderTest, SingleShotConsumption) {
+  DeploymentBuilder builder = FullBuilder();
+  auto first = builder.BuildOnline();
+  ASSERT_TRUE(first.ok());
+  // Ingredients were moved out: a second build must fail cleanly.
+  auto second = builder.BuildOnline();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cdpipe

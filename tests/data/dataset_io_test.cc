@@ -1,0 +1,75 @@
+#include "src/data/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+std::vector<std::string> MakeRecords(size_t n) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) out.push_back("record-" + std::to_string(i));
+  return out;
+}
+
+TEST(DiscretizeRecordsTest, EvenSplit) {
+  auto chunks = DiscretizeRecords(MakeRecords(10), 5, 1000, 60);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].id, 0);
+  EXPECT_EQ(chunks[1].id, 1);
+  EXPECT_EQ(chunks[0].event_time_seconds, 1000);
+  EXPECT_EQ(chunks[1].event_time_seconds, 1060);
+  EXPECT_EQ(chunks[0].records.size(), 5u);
+  EXPECT_EQ(chunks[0].records[0], "record-0");
+  EXPECT_EQ(chunks[1].records[4], "record-9");
+}
+
+TEST(DiscretizeRecordsTest, RaggedTail) {
+  auto chunks = DiscretizeRecords(MakeRecords(7), 3, 0, 1);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].records.size(), 1u);
+}
+
+TEST(DiscretizeRecordsTest, CustomFirstId) {
+  auto chunks = DiscretizeRecords(MakeRecords(4), 2, 0, 1, /*first_id=*/100);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].id, 100);
+  EXPECT_EQ(chunks[1].id, 101);
+}
+
+TEST(DiscretizeRecordsTest, EmptyInput) {
+  EXPECT_TRUE(DiscretizeRecords({}, 5, 0, 1).empty());
+}
+
+TEST(FlattenChunksTest, InverseOfDiscretize) {
+  auto records = MakeRecords(11);
+  auto chunks = DiscretizeRecords(records, 4, 0, 1);
+  EXPECT_EQ(FlattenChunks(chunks), records);
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cdpipe_io_test.txt")
+          .string();
+  auto records = MakeRecords(5);
+  ASSERT_TRUE(SaveRecords(path, records).ok());
+  auto loaded = LoadRecords(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, records);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, LoadMissingFileFails) {
+  auto result = LoadRecords("/nonexistent/definitely/not/here.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, SaveToBadPathFails) {
+  EXPECT_FALSE(SaveRecords("/nonexistent/dir/file.txt", {"x"}).ok());
+}
+
+}  // namespace
+}  // namespace cdpipe

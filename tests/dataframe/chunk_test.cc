@@ -1,0 +1,81 @@
+#include "src/dataframe/chunk.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TableData MakeTable() {
+  TableData table;
+  table.schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
+                                         Field{"s", ValueType::kString}}))
+                     .ValueOrDie();
+  table.rows.push_back({Value::Double(1.0), Value::String("abc")});
+  table.rows.push_back({Value::Double(2.0), Value::String("de")});
+  return table;
+}
+
+TEST(TableDataTest, NumRowsAndByteSize) {
+  TableData table = MakeTable();
+  EXPECT_EQ(table.num_rows(), 2u);
+  // 4 cells + 5 string bytes.
+  EXPECT_EQ(table.ByteSize(), 4 * sizeof(Value) + 5);
+}
+
+TEST(FeatureDataTest, ValidatePasses) {
+  FeatureData data;
+  data.dim = 4;
+  data.features.push_back(SparseVector::FromUnsorted(4, {{1, 1.0}}));
+  data.labels.push_back(1.0);
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(FeatureDataTest, ValidateCatchesCountMismatch) {
+  FeatureData data;
+  data.dim = 4;
+  data.features.push_back(SparseVector::FromUnsorted(4, {{1, 1.0}}));
+  EXPECT_FALSE(data.Validate().ok());
+}
+
+TEST(FeatureDataTest, ValidateCatchesDimMismatch) {
+  FeatureData data;
+  data.dim = 4;
+  data.features.push_back(SparseVector::FromUnsorted(5, {{1, 1.0}}));
+  data.labels.push_back(1.0);
+  EXPECT_FALSE(data.Validate().ok());
+}
+
+TEST(BatchHelpersTest, NumRowsAndBytes) {
+  DataBatch table_batch = MakeTable();
+  EXPECT_EQ(BatchNumRows(table_batch), 2u);
+  EXPECT_GT(BatchByteSize(table_batch), 0u);
+
+  FeatureData features;
+  features.dim = 3;
+  features.features.push_back(SparseVector::FromUnsorted(3, {{0, 1.0}}));
+  features.labels.push_back(-1.0);
+  DataBatch feature_batch = std::move(features);
+  EXPECT_EQ(BatchNumRows(feature_batch), 1u);
+  EXPECT_EQ(BatchByteSize(feature_batch),
+            sizeof(double) + sizeof(uint32_t) + sizeof(double));
+}
+
+TEST(RawChunkTest, ByteSizeSumsRecords) {
+  RawChunk chunk;
+  chunk.records = {"abc", "de"};
+  EXPECT_EQ(chunk.num_rows(), 2u);
+  EXPECT_EQ(chunk.ByteSize(), 5u);
+}
+
+TEST(FeatureChunkTest, ForwardsToData) {
+  FeatureChunk chunk;
+  chunk.origin_id = 9;
+  chunk.data.dim = 2;
+  chunk.data.features.push_back(SparseVector::FromUnsorted(2, {{0, 1.0}}));
+  chunk.data.labels.push_back(1.0);
+  EXPECT_EQ(chunk.num_rows(), 1u);
+  EXPECT_GT(chunk.ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace cdpipe

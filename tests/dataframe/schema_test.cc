@@ -1,0 +1,75 @@
+#include "src/dataframe/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TEST(SchemaTest, MakeAndLookup) {
+  auto schema = std::move(Schema::Make({Field{"a", ValueType::kDouble},
+                                        Field{"b", ValueType::kString}}))
+                    .ValueOrDie();
+  EXPECT_EQ(schema->num_fields(), 2u);
+  EXPECT_EQ(std::move(schema->FieldIndex("a")).ValueOrDie(), 0u);
+  EXPECT_EQ(std::move(schema->FieldIndex("b")).ValueOrDie(), 1u);
+  EXPECT_TRUE(schema->HasField("a"));
+  EXPECT_FALSE(schema->HasField("c"));
+  EXPECT_EQ(schema->field(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, MissingFieldIsNotFound) {
+  auto schema =
+      std::move(Schema::Make({Field{"a", ValueType::kDouble}})).ValueOrDie();
+  Result<size_t> idx = schema->FieldIndex("zzz");
+  ASSERT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  auto result = Schema::Make(
+      {Field{"x", ValueType::kDouble}, Field{"x", ValueType::kInt64}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, AddFieldCreatesNewSchema) {
+  auto schema =
+      std::move(Schema::Make({Field{"a", ValueType::kDouble}})).ValueOrDie();
+  auto extended =
+      std::move(schema->AddField(Field{"b", ValueType::kInt64})).ValueOrDie();
+  EXPECT_EQ(schema->num_fields(), 1u);  // original untouched
+  EXPECT_EQ(extended->num_fields(), 2u);
+  EXPECT_TRUE(extended->HasField("b"));
+}
+
+TEST(SchemaTest, AddDuplicateFieldRejected) {
+  auto schema =
+      std::move(Schema::Make({Field{"a", ValueType::kDouble}})).ValueOrDie();
+  EXPECT_FALSE(schema->AddField(Field{"a", ValueType::kInt64}).ok());
+}
+
+TEST(SchemaTest, EmptySchema) {
+  auto schema = std::move(Schema::Make({})).ValueOrDie();
+  EXPECT_EQ(schema->num_fields(), 0u);
+  EXPECT_EQ(schema->ToString(), "{}");
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  auto schema = std::move(Schema::Make({Field{"t", ValueType::kTimestamp}}))
+                    .ValueOrDie();
+  EXPECT_EQ(schema->ToString(), "{t: timestamp}");
+}
+
+TEST(SchemaTest, Equality) {
+  auto a =
+      std::move(Schema::Make({Field{"x", ValueType::kDouble}})).ValueOrDie();
+  auto b =
+      std::move(Schema::Make({Field{"x", ValueType::kDouble}})).ValueOrDie();
+  auto c =
+      std::move(Schema::Make({Field{"x", ValueType::kInt64}})).ValueOrDie();
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+}  // namespace
+}  // namespace cdpipe

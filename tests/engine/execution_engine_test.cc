@@ -1,0 +1,76 @@
+#include "src/engine/execution_engine.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TEST(ExecutionEngineTest, SingleThreadedRunsInline) {
+  ExecutionEngine engine(1);
+  EXPECT_EQ(engine.num_threads(), 1u);
+  std::vector<int> order;
+  Status status = engine.ParallelFor(5, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // in order, inline
+}
+
+TEST(ExecutionEngineTest, ParallelRunsEverything) {
+  ExecutionEngine engine(4);
+  EXPECT_EQ(engine.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(64);
+  Status status = engine.ParallelFor(64, [&](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutionEngineTest, FirstErrorWins) {
+  ExecutionEngine engine(1);
+  Status status = engine.ParallelFor(10, [&](size_t i) -> Status {
+    if (i == 3) return Status::Internal("three");
+    if (i == 7) return Status::Internal("seven");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "three");
+}
+
+TEST(ExecutionEngineTest, ParallelErrorReportsLowestIndex) {
+  ExecutionEngine engine(4);
+  Status status = engine.ParallelFor(32, [&](size_t i) -> Status {
+    if (i % 2 == 1) return Status::Internal("idx" + std::to_string(i));
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "idx1");
+}
+
+TEST(ExecutionEngineTest, SingleThreadedStopsAtFirstError) {
+  ExecutionEngine engine(1);
+  int ran = 0;
+  Status status = engine.ParallelFor(10, [&](size_t i) -> Status {
+    ++ran;
+    if (i == 2) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ran, 3);  // inline execution aborts immediately
+}
+
+TEST(ExecutionEngineTest, ZeroTasksIsOk) {
+  ExecutionEngine engine(2);
+  EXPECT_TRUE(engine.ParallelFor(0, [](size_t) {
+    return Status::Internal("never");
+  }).ok());
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,134 @@
+#include "src/io/serialization.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace cdpipe {
+namespace {
+
+TEST(EncodeDoubleTest, RoundTripsExactly) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.NextGaussian() * std::pow(10.0, rng.NextInt(-30, 30));
+    const double decoded =
+        std::move(DecodeDouble(EncodeDouble(value))).ValueOrDie();
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(EncodeDoubleTest, SpecialValues) {
+  for (double value : {0.0, -0.0, 1.0, -1.0,
+                       std::numeric_limits<double>::min(),
+                       std::numeric_limits<double>::max(),
+                       std::numeric_limits<double>::denorm_min()}) {
+    EXPECT_EQ(std::move(DecodeDouble(EncodeDouble(value))).ValueOrDie(),
+              value);
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(std::move(DecodeDouble(EncodeDouble(inf))).ValueOrDie(), inf);
+  EXPECT_TRUE(std::isnan(
+      std::move(DecodeDouble(EncodeDouble(std::nan("")))).ValueOrDie()));
+}
+
+TEST(DecodeDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeDouble("").ok());
+  EXPECT_FALSE(DecodeDouble("12x").ok());
+  EXPECT_FALSE(DecodeDouble("abc").ok());
+}
+
+TEST(SerializationTest, AllTypesRoundTrip) {
+  std::ostringstream os;
+  Serializer out(&os);
+  out.WriteInt("count", -42);
+  out.WriteDouble("pi", 3.14159);
+  out.WriteString("name", "hello world");
+  out.WriteString("empty", "");
+  out.WriteDoubleVector("dv", {1.5, -2.5, 0.0});
+  out.WriteUint32Vector("uv", {7, 0, 4000000000u});
+  out.WritePairs("pv", {{3, 1.25}, {9, -0.5}});
+  ASSERT_TRUE(out.ok());
+
+  std::istringstream is(os.str());
+  Deserializer in(&is);
+  EXPECT_EQ(std::move(in.ReadInt("count")).ValueOrDie(), -42);
+  EXPECT_DOUBLE_EQ(std::move(in.ReadDouble("pi")).ValueOrDie(), 3.14159);
+  EXPECT_EQ(std::move(in.ReadString("name")).ValueOrDie(), "hello world");
+  EXPECT_EQ(std::move(in.ReadString("empty")).ValueOrDie(), "");
+  EXPECT_EQ(std::move(in.ReadDoubleVector("dv")).ValueOrDie(),
+            (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(std::move(in.ReadUint32Vector("uv")).ValueOrDie(),
+            (std::vector<uint32_t>{7, 0, 4000000000u}));
+  auto pairs = std::move(in.ReadPairs("pv")).ValueOrDie();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, 3u);
+  EXPECT_DOUBLE_EQ(pairs[1].second, -0.5);
+}
+
+TEST(SerializationTest, EmptyVectorsRoundTrip) {
+  std::ostringstream os;
+  Serializer out(&os);
+  out.WriteDoubleVector("dv", {});
+  out.WriteUint32Vector("uv", {});
+  out.WritePairs("pv", {});
+  std::istringstream is(os.str());
+  Deserializer in(&is);
+  EXPECT_TRUE(std::move(in.ReadDoubleVector("dv")).ValueOrDie().empty());
+  EXPECT_TRUE(std::move(in.ReadUint32Vector("uv")).ValueOrDie().empty());
+  EXPECT_TRUE(std::move(in.ReadPairs("pv")).ValueOrDie().empty());
+}
+
+TEST(SerializationTest, KeyMismatchDetected) {
+  std::ostringstream os;
+  Serializer out(&os);
+  out.WriteInt("alpha", 1);
+  std::istringstream is(os.str());
+  Deserializer in(&is);
+  Result<int64_t> r = in.ReadInt("beta");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("key mismatch"), std::string::npos);
+}
+
+TEST(SerializationTest, TypeMismatchDetected) {
+  std::ostringstream os;
+  Serializer out(&os);
+  out.WriteInt("x", 1);
+  std::istringstream is(os.str());
+  Deserializer in(&is);
+  EXPECT_FALSE(in.ReadDouble("x").ok());
+}
+
+TEST(SerializationTest, TruncationDetected) {
+  std::istringstream is("");
+  Deserializer in(&is);
+  Result<int64_t> r = in.ReadInt("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, StringWithSpacesPreserved) {
+  std::ostringstream os;
+  Serializer out(&os);
+  out.WriteString("s", "a b  c\t!");
+  std::istringstream is(os.str());
+  Deserializer in(&is);
+  EXPECT_EQ(std::move(in.ReadString("s")).ValueOrDie(), "a b  c\t!");
+}
+
+TEST(SerializationTest, SequentialKeysReadInOrder) {
+  std::ostringstream os;
+  Serializer out(&os);
+  for (int i = 0; i < 10; ++i) out.WriteInt("k" + std::to_string(i), i);
+  std::istringstream is(os.str());
+  Deserializer in(&is);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(std::move(in.ReadInt("k" + std::to_string(i))).ValueOrDie(), i);
+  }
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,88 @@
+#include "src/linalg/dense_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/sparse_vector.h"
+
+namespace cdpipe {
+namespace {
+
+TEST(DenseVectorTest, ConstructionAndAccess) {
+  DenseVector v(4, 1.5);
+  EXPECT_EQ(v.dim(), 4u);
+  EXPECT_FALSE(v.empty());
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 1.5);
+  v[2] = -3.0;
+  EXPECT_DOUBLE_EQ(v[2], -3.0);
+}
+
+TEST(DenseVectorTest, FromValues) {
+  DenseVector v(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(DenseVectorTest, ResizeZeroFills) {
+  DenseVector v(std::vector<double>{1, 2});
+  v.Resize(4);
+  EXPECT_EQ(v.dim(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(DenseVectorTest, FillAndScale) {
+  DenseVector v(3);
+  v.Fill(2.0);
+  v.Scale(-0.5);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], -1.0);
+}
+
+TEST(DenseVectorTest, AxpyDense) {
+  DenseVector v(std::vector<double>{1, 2, 3});
+  DenseVector u(std::vector<double>{1, 1, 1});
+  v.Axpy(2.0, u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+  EXPECT_DOUBLE_EQ(v[2], 5.0);
+}
+
+TEST(DenseVectorTest, AxpySparse) {
+  DenseVector v(std::vector<double>{1, 2, 3, 4});
+  SparseVector s =
+      SparseVector::FromUnsorted(4, {{0, 1.0}, {3, -2.0}});
+  v.Axpy(3.0, s);
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_DOUBLE_EQ(v[3], -2.0);
+}
+
+TEST(DenseVectorTest, DotDenseAndSparse) {
+  DenseVector v(std::vector<double>{1, 2, 3});
+  DenseVector u(std::vector<double>{4, 5, 6});
+  EXPECT_DOUBLE_EQ(v.Dot(u), 32.0);
+  SparseVector s = SparseVector::FromUnsorted(3, {{1, 2.0}});
+  EXPECT_DOUBLE_EQ(v.Dot(s), 4.0);
+}
+
+TEST(DenseVectorTest, Norms) {
+  DenseVector v(std::vector<double>{3, -4});
+  EXPECT_DOUBLE_EQ(v.L2NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(v.L2Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 7.0);
+}
+
+TEST(DenseVectorTest, ByteSize) {
+  DenseVector v(10);
+  EXPECT_EQ(v.ByteSize(), 80u);
+}
+
+TEST(DenseVectorTest, ToStringTruncates) {
+  DenseVector v(100, 1.0);
+  const std::string s = v.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("100 total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,106 @@
+#include "src/ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TEST(MisclassificationTest, CountsSignDisagreements) {
+  MisclassificationRate metric;
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.0);  // empty
+  metric.Add(0.7, 1.0);    // correct
+  metric.Add(-0.2, 1.0);   // wrong
+  metric.Add(-3.0, -1.0);  // correct
+  metric.Add(0.1, -1.0);   // wrong
+  EXPECT_EQ(metric.Count(), 4);
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.5);
+}
+
+TEST(MisclassificationTest, MarginZeroCountsAsPositive) {
+  MisclassificationRate metric;
+  metric.Add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.0);
+  metric.Add(0.0, -1.0);
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.5);
+}
+
+TEST(RmseTest, MatchesClosedForm) {
+  Rmse metric;
+  metric.Add(1.0, 3.0);  // err 2
+  metric.Add(5.0, 1.0);  // err 4
+  EXPECT_DOUBLE_EQ(metric.Value(), std::sqrt((4.0 + 16.0) / 2.0));
+}
+
+TEST(RmseTest, PerfectPredictionsGiveZero) {
+  Rmse metric;
+  for (int i = 0; i < 5; ++i) metric.Add(i, i);
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.0);
+}
+
+TEST(RmsleTest, MatchesClosedForm) {
+  Rmsle metric;
+  metric.Add(std::expm1(2.0), std::expm1(1.0));
+  // log1p of both: 2 and 1 -> error 1.
+  EXPECT_NEAR(metric.Value(), 1.0, 1e-12);
+}
+
+TEST(RmsleTest, ClampsNegativePredictions) {
+  Rmsle metric;
+  metric.Add(-5.0, 0.0);  // clamp to 0 -> error 0
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.0);
+}
+
+TEST(RmsleEqualsRmseInLogSpace, Property) {
+  // RMSE over log1p-space values equals RMSLE over raw-space values — the
+  // identity the Taxi pipeline relies on.
+  Rmse log_space;
+  Rmsle raw_space;
+  const double preds[] = {10.0, 300.0, 4000.0};
+  const double labels[] = {12.0, 250.0, 5000.0};
+  for (int i = 0; i < 3; ++i) {
+    log_space.Add(std::log1p(preds[i]), std::log1p(labels[i]));
+    raw_space.Add(preds[i], labels[i]);
+  }
+  EXPECT_NEAR(log_space.Value(), raw_space.Value(), 1e-12);
+}
+
+TEST(MaeTest, MeanAbsoluteError) {
+  MeanAbsoluteError metric;
+  metric.Add(1.0, 4.0);
+  metric.Add(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(metric.Value(), 2.0);
+}
+
+template <typename M>
+void CheckResetAndClone() {
+  M metric;
+  metric.Add(1.0, -1.0);
+  metric.Add(0.5, 1.0);
+  auto clone = metric.Clone();
+  EXPECT_EQ(clone->Count(), metric.Count());
+  EXPECT_DOUBLE_EQ(clone->Value(), metric.Value());
+  clone->Add(9.0, -9.0);
+  EXPECT_NE(clone->Count(), metric.Count());
+  metric.Reset();
+  EXPECT_EQ(metric.Count(), 0);
+  EXPECT_DOUBLE_EQ(metric.Value(), 0.0);
+}
+
+TEST(MetricCommonTest, ResetAndCloneForAllMetrics) {
+  CheckResetAndClone<MisclassificationRate>();
+  CheckResetAndClone<Rmse>();
+  CheckResetAndClone<Rmsle>();
+  CheckResetAndClone<MeanAbsoluteError>();
+}
+
+TEST(MetricCommonTest, Names) {
+  EXPECT_EQ(MisclassificationRate().name(), "misclassification");
+  EXPECT_EQ(Rmse().name(), "rmse");
+  EXPECT_EQ(Rmsle().name(), "rmsle");
+  EXPECT_EQ(MeanAbsoluteError().name(), "mae");
+}
+
+}  // namespace
+}  // namespace cdpipe

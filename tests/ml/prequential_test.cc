@@ -1,0 +1,65 @@
+#include "src/ml/prequential.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TEST(PrequentialTest, CumulativeTracksMetric) {
+  PrequentialEvaluator eval(std::make_unique<MisclassificationRate>());
+  eval.Observe(1.0, 1.0);
+  eval.Observe(-1.0, 1.0);
+  EXPECT_EQ(eval.Count(), 2);
+  EXPECT_DOUBLE_EQ(eval.CumulativeValue(), 0.5);
+  EXPECT_EQ(eval.metric_name(), "misclassification");
+}
+
+TEST(PrequentialTest, WindowDisabledFallsBackToCumulative) {
+  PrequentialEvaluator eval(std::make_unique<MisclassificationRate>(), 0);
+  eval.Observe(-1.0, 1.0);
+  EXPECT_DOUBLE_EQ(eval.WindowedValue(), eval.CumulativeValue());
+}
+
+TEST(PrequentialTest, WindowedForgetsOldErrors) {
+  PrequentialEvaluator eval(std::make_unique<MisclassificationRate>(), 100);
+  // First 100 observations are all wrong.
+  for (int i = 0; i < 100; ++i) eval.Observe(-1.0, 1.0);
+  // Next 400 are all right.
+  for (int i = 0; i < 400; ++i) eval.Observe(1.0, 1.0);
+  EXPECT_NEAR(eval.CumulativeValue(), 0.2, 1e-9);
+  EXPECT_LT(eval.WindowedValue(), 0.05);  // the window has moved on
+}
+
+TEST(PrequentialTest, WindowedSeesRecentDegradation) {
+  PrequentialEvaluator eval(std::make_unique<MisclassificationRate>(), 100);
+  for (int i = 0; i < 1000; ++i) eval.Observe(1.0, 1.0);
+  for (int i = 0; i < 100; ++i) eval.Observe(-1.0, 1.0);
+  EXPECT_LT(eval.CumulativeValue(), 0.15);
+  EXPECT_GT(eval.WindowedValue(), 0.6);  // drift visible in the window
+}
+
+TEST(PrequentialTest, RecordPointBuildsCurve) {
+  PrequentialEvaluator eval(std::make_unique<Rmse>());
+  eval.Observe(1.0, 2.0);
+  eval.RecordPoint();
+  eval.Observe(2.0, 2.0);
+  eval.RecordPoint();
+  ASSERT_EQ(eval.curve().size(), 2u);
+  EXPECT_EQ(eval.curve()[0].observations, 1);
+  EXPECT_EQ(eval.curve()[1].observations, 2);
+  EXPECT_DOUBLE_EQ(eval.curve()[0].cumulative, 1.0);
+  EXPECT_NEAR(eval.curve()[1].cumulative, std::sqrt(0.5), 1e-12);
+}
+
+TEST(PrequentialTest, EmptyEvaluatorIsZero) {
+  PrequentialEvaluator eval(std::make_unique<Rmse>(), 10);
+  EXPECT_EQ(eval.Count(), 0);
+  EXPECT_DOUBLE_EQ(eval.CumulativeValue(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.WindowedValue(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,89 @@
+#include "src/pipeline/anomaly_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TableData MakeTable(std::vector<double> values) {
+  TableData table;
+  table.schema =
+      std::move(Schema::Make({Field{"v", ValueType::kDouble}})).ValueOrDie();
+  for (double v : values) table.rows.push_back({Value::Double(v)});
+  return table;
+}
+
+TEST(AnomalyFilterTest, KeepInRangeFilters) {
+  auto filter = AnomalyFilter::KeepInRange("v", 0.0, 10.0);
+  auto result = filter->Transform(DataBatch(MakeTable({-1, 0, 5, 10, 11})));
+  ASSERT_TRUE(result.ok());
+  const auto& out = std::get<TableData>(*result);
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(out.rows[0][0].double_value(), 0.0);
+  EXPECT_DOUBLE_EQ(out.rows[2][0].double_value(), 10.0);
+  EXPECT_EQ(filter->num_dropped(), 2u);
+}
+
+TEST(AnomalyFilterTest, NullCellsDroppedByRangeFilter) {
+  auto filter = AnomalyFilter::KeepInRange("v", 0.0, 10.0);
+  TableData table = MakeTable({5});
+  table.rows.push_back({Value::Null()});
+  auto result = filter->Transform(DataBatch(table));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<TableData>(*result).num_rows(), 1u);
+}
+
+TEST(AnomalyFilterTest, CustomPredicate) {
+  AnomalyFilter filter("odd-only", [](const Schema&, const Row& row) ->
+                       Result<bool> {
+    return static_cast<int64_t>(row[0].double_value()) % 2 == 1;
+  });
+  auto result = filter.Transform(DataBatch(MakeTable({1, 2, 3, 4, 5})));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<TableData>(*result).num_rows(), 3u);
+  EXPECT_EQ(filter.name(), "anomaly_filter(odd-only)");
+}
+
+TEST(AnomalyFilterTest, PredicateErrorPropagates) {
+  AnomalyFilter filter("boom", [](const Schema&, const Row&) -> Result<bool> {
+    return Status::Internal("boom");
+  });
+  EXPECT_FALSE(filter.Transform(DataBatch(MakeTable({1}))).ok());
+}
+
+TEST(AnomalyFilterTest, MissingColumnErrors) {
+  auto filter = AnomalyFilter::KeepInRange("zzz", 0.0, 1.0);
+  EXPECT_FALSE(filter->Transform(DataBatch(MakeTable({1}))).ok());
+}
+
+TEST(AnomalyFilterTest, RejectsFeatureBatch) {
+  auto filter = AnomalyFilter::KeepInRange("v", 0.0, 1.0);
+  EXPECT_FALSE(filter->Transform(DataBatch(FeatureData{})).ok());
+}
+
+TEST(AnomalyFilterTest, EmptyTablePassesThrough) {
+  auto filter = AnomalyFilter::KeepInRange("v", 0.0, 1.0);
+  auto result = filter->Transform(DataBatch(MakeTable({})));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<TableData>(*result).num_rows(), 0u);
+}
+
+TEST(AnomalyFilterTest, CloneCarriesPredicateAndCounter) {
+  auto filter = AnomalyFilter::KeepInRange("v", 0.0, 1.0);
+  ASSERT_TRUE(filter->Transform(DataBatch(MakeTable({5}))).ok());
+  auto clone = filter->Clone();
+  auto* cloned = static_cast<AnomalyFilter*>(clone.get());
+  EXPECT_EQ(cloned->num_dropped(), 1u);
+  auto result = cloned->Transform(DataBatch(MakeTable({0.5})));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<TableData>(*result).num_rows(), 1u);
+}
+
+TEST(AnomalyFilterTest, StatelessContract) {
+  auto filter = AnomalyFilter::KeepInRange("v", 0.0, 1.0);
+  EXPECT_FALSE(filter->is_stateful());
+  EXPECT_EQ(filter->kind(), ComponentKind::kDataTransformation);
+}
+
+}  // namespace
+}  // namespace cdpipe

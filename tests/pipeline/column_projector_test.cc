@@ -1,0 +1,61 @@
+#include "src/pipeline/column_projector.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+TableData MakeTable() {
+  TableData table;
+  table.schema = std::move(Schema::Make({Field{"a", ValueType::kDouble},
+                                         Field{"b", ValueType::kString},
+                                         Field{"c", ValueType::kInt64}}))
+                     .ValueOrDie();
+  table.rows.push_back(
+      {Value::Double(1.0), Value::String("x"), Value::Int64(7)});
+  table.rows.push_back(
+      {Value::Double(2.0), Value::String("y"), Value::Int64(8)});
+  return table;
+}
+
+TEST(ColumnProjectorTest, SelectsAndReorders) {
+  ColumnProjector projector({"c", "a"});
+  auto result = projector.Transform(DataBatch(MakeTable()));
+  ASSERT_TRUE(result.ok());
+  const auto& out = std::get<TableData>(*result);
+  EXPECT_EQ(out.schema->num_fields(), 2u);
+  EXPECT_EQ(out.schema->field(0).name, "c");
+  EXPECT_EQ(out.schema->field(1).name, "a");
+  EXPECT_EQ(out.rows[0][0].int64_value(), 7);
+  EXPECT_DOUBLE_EQ(out.rows[1][1].double_value(), 2.0);
+}
+
+TEST(ColumnProjectorTest, MissingColumnErrors) {
+  ColumnProjector projector({"nope"});
+  EXPECT_FALSE(projector.Transform(DataBatch(MakeTable())).ok());
+}
+
+TEST(ColumnProjectorTest, RejectsFeatureBatch) {
+  ColumnProjector projector({"a"});
+  EXPECT_FALSE(projector.Transform(DataBatch(FeatureData{})).ok());
+}
+
+TEST(ColumnProjectorTest, PreservesRowCount) {
+  ColumnProjector projector({"b"});
+  auto result = projector.Transform(DataBatch(MakeTable()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<TableData>(*result).num_rows(), 2u);
+}
+
+TEST(ColumnProjectorTest, ContractAndClone) {
+  ColumnProjector projector({"a"});
+  EXPECT_FALSE(projector.is_stateful());
+  EXPECT_EQ(projector.kind(), ComponentKind::kFeatureSelection);
+  auto clone = projector.Clone();
+  auto result = clone->Transform(DataBatch(MakeTable()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<TableData>(*result).schema->num_fields(), 1u);
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,106 @@
+#include "src/pipeline/vector_assembler.h"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+std::shared_ptr<const Schema> ThreeColumnSchema() {
+  return std::move(Schema::Make({Field{"a", ValueType::kDouble},
+                                 Field{"b", ValueType::kDouble},
+                                 Field{"y", ValueType::kDouble}}))
+      .ValueOrDie();
+}
+
+TableData MakeTable(std::vector<std::array<double, 3>> rows) {
+  TableData table;
+  table.schema = ThreeColumnSchema();
+  for (const auto& r : rows) {
+    table.rows.push_back(
+        {Value::Double(r[0]), Value::Double(r[1]), Value::Double(r[2])});
+  }
+  return table;
+}
+
+VectorAssembler::Options BaseOptions(bool intercept = false) {
+  VectorAssembler::Options options;
+  options.feature_columns = {"a", "b"};
+  options.label_column = "y";
+  options.add_intercept = intercept;
+  return options;
+}
+
+TEST(VectorAssemblerTest, PacksColumnsInOrder) {
+  VectorAssembler assembler(BaseOptions());
+  auto result = assembler.Transform(DataBatch(MakeTable({{1, 2, 3}})));
+  ASSERT_TRUE(result.ok());
+  const auto& out = std::get<FeatureData>(*result);
+  EXPECT_EQ(out.dim, 2u);
+  EXPECT_DOUBLE_EQ(out.features[0].Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(out.features[0].Get(1), 2.0);
+  EXPECT_DOUBLE_EQ(out.labels[0], 3.0);
+}
+
+TEST(VectorAssemblerTest, InterceptAppendsConstantOne) {
+  VectorAssembler assembler(BaseOptions(/*intercept=*/true));
+  EXPECT_EQ(assembler.output_dim(), 3u);
+  auto result = assembler.Transform(DataBatch(MakeTable({{0, 0, 5}})));
+  ASSERT_TRUE(result.ok());
+  const auto& out = std::get<FeatureData>(*result);
+  EXPECT_DOUBLE_EQ(out.features[0].Get(2), 1.0);
+  // zero-valued features are not stored.
+  EXPECT_EQ(out.features[0].nnz(), 1u);
+}
+
+TEST(VectorAssemblerTest, NullFeatureBecomesZero) {
+  VectorAssembler assembler(BaseOptions());
+  TableData table;
+  table.schema = ThreeColumnSchema();
+  table.rows.push_back({Value::Null(), Value::Double(2), Value::Double(1)});
+  auto result = assembler.Transform(DataBatch(table));
+  ASSERT_TRUE(result.ok());
+  const auto& out = std::get<FeatureData>(*result);
+  EXPECT_DOUBLE_EQ(out.features[0].Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(out.features[0].Get(1), 2.0);
+}
+
+TEST(VectorAssemblerTest, NullLabelErrors) {
+  VectorAssembler assembler(BaseOptions());
+  TableData table;
+  table.schema = ThreeColumnSchema();
+  table.rows.push_back({Value::Double(1), Value::Double(2), Value::Null()});
+  EXPECT_FALSE(assembler.Transform(DataBatch(table)).ok());
+}
+
+TEST(VectorAssemblerTest, MissingColumnErrors) {
+  VectorAssembler::Options options;
+  options.feature_columns = {"nope"};
+  options.label_column = "y";
+  VectorAssembler assembler(options);
+  EXPECT_FALSE(assembler.Transform(DataBatch(MakeTable({{1, 2, 3}}))).ok());
+}
+
+TEST(VectorAssemblerTest, RejectsFeatureBatch) {
+  VectorAssembler assembler(BaseOptions());
+  EXPECT_FALSE(assembler.Transform(DataBatch(FeatureData{})).ok());
+}
+
+TEST(VectorAssemblerTest, EmptyTableGivesEmptyFeatures) {
+  VectorAssembler assembler(BaseOptions());
+  auto result = assembler.Transform(DataBatch(MakeTable({})));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::get<FeatureData>(*result).num_rows(), 0u);
+}
+
+TEST(VectorAssemblerTest, ContractAndClone) {
+  VectorAssembler assembler(BaseOptions(true));
+  EXPECT_FALSE(assembler.is_stateful());
+  EXPECT_EQ(assembler.kind(), ComponentKind::kFeatureSelection);
+  auto clone = assembler.Clone();
+  EXPECT_EQ(static_cast<VectorAssembler*>(clone.get())->output_dim(), 3u);
+}
+
+}  // namespace
+}  // namespace cdpipe

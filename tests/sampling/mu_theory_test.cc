@@ -1,0 +1,137 @@
+#include "src/sampling/mu_theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sampling/sampler.h"
+
+namespace cdpipe {
+namespace {
+
+TEST(HarmonicNumberTest, ExactSmallValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25);
+}
+
+TEST(HarmonicNumberTest, AsymptoticMatchesExactSum) {
+  for (size_t t : {100u, 1000u, 10000u}) {
+    double exact = 0.0;
+    for (size_t i = 1; i <= t; ++i) exact += 1.0 / static_cast<double>(i);
+    EXPECT_NEAR(HarmonicNumber(t), exact, 1e-9) << t;
+  }
+}
+
+TEST(MuUniformTest, PaperOperatingPoint) {
+  // §3.2.2: N = 12000, m = 7200 (m/n = 0.6) -> μ ≈ 0.91.
+  EXPECT_NEAR(MuUniform(12000, 7200), 0.91, 0.005);
+  // Table 4: m/n = 0.2 -> μ ≈ 0.52.
+  EXPECT_NEAR(MuUniform(12000, 2400), 0.52, 0.005);
+}
+
+TEST(MuUniformTest, Extremes) {
+  EXPECT_DOUBLE_EQ(MuUniform(1000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(MuUniform(1000, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(MuUniform(1000, 5000), 1.0);  // m clamped to N
+}
+
+TEST(MuUniformTest, MonotoneInM) {
+  double prev = 0.0;
+  for (size_t m = 0; m <= 12000; m += 600) {
+    const double mu = MuUniform(12000, m);
+    EXPECT_GE(mu, prev);
+    prev = mu;
+  }
+}
+
+TEST(MuWindowTest, PaperOperatingPoints) {
+  // Table 4, w = 6000: m/n = 0.2 -> 0.58, m/n = 0.6 -> 1.0.
+  EXPECT_NEAR(MuWindow(12000, 2400, 6000), 0.58, 0.005);
+  EXPECT_DOUBLE_EQ(MuWindow(12000, 7200, 6000), 1.0);
+}
+
+TEST(MuWindowTest, WindowEqualOrSmallerThanMIsFullyMaterialized) {
+  EXPECT_DOUBLE_EQ(MuWindow(10000, 5000, 5000), 1.0);
+  EXPECT_DOUBLE_EQ(MuWindow(10000, 5000, 4000), 1.0);
+}
+
+TEST(MuWindowTest, ReducesToUniformWhenWindowIsEverything) {
+  EXPECT_NEAR(MuWindow(12000, 2400, 12000), MuUniform(12000, 2400), 1e-9);
+}
+
+TEST(MuTimeLinearTest, PaperOperatingPoints) {
+  // Table 4 empirical values for time-based sampling: 0.68 and 0.97.
+  EXPECT_NEAR(MuTimeLinear(12000, 2400), 0.68, 0.01);
+  EXPECT_NEAR(MuTimeLinear(12000, 7200), 0.97, 0.01);
+}
+
+TEST(MuTimeLinearTest, DominatesUniform) {
+  // Recency weighting can only help: the materialized chunks are the newest.
+  for (size_t m : {1200u, 2400u, 4800u, 7200u, 9600u}) {
+    EXPECT_GT(MuTimeLinear(12000, m), MuUniform(12000, m)) << m;
+  }
+}
+
+TEST(MuUniformAtNTest, PiecewiseForm) {
+  EXPECT_DOUBLE_EQ(MuUniformAtN(5, 10), 1.0);
+  EXPECT_DOUBLE_EQ(MuUniformAtN(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(MuUniformAtN(20, 10), 0.5);
+}
+
+// Property test: the closed-form μ matches a direct simulation of the
+// deployment protocol (one sampling operation after every arriving chunk,
+// m newest chunks materialized).
+class MuSimulationTest
+    : public ::testing::TestWithParam<std::tuple<SamplerKind, size_t>> {};
+
+TEST_P(MuSimulationTest, TheoryMatchesSimulation) {
+  const auto [kind, m] = GetParam();
+  constexpr size_t kN = 1200;
+  constexpr size_t kWindow = 600;
+  constexpr size_t kSampleSize = 10;
+  auto sampler = MakeSampler(kind, kWindow);
+  Rng rng(kind == SamplerKind::kUniform ? 5u : 6u);
+
+  int64_t hits = 0;
+  int64_t draws = 0;
+  std::vector<ChunkId> live;
+  for (size_t n = 1; n <= kN; ++n) {
+    live.push_back(static_cast<ChunkId>(n - 1));
+    // The m newest chunks are materialized (oldest-first eviction).
+    const ChunkId oldest_materialized =
+        n > m ? static_cast<ChunkId>(n - m) : 0;
+    for (ChunkId id : sampler->Sample(live, kSampleSize, &rng)) {
+      ++draws;
+      if (id >= oldest_materialized) ++hits;
+    }
+  }
+  const double empirical = static_cast<double>(hits) / draws;
+
+  double theory = 0.0;
+  switch (kind) {
+    case SamplerKind::kUniform:
+      theory = MuUniform(kN, m);
+      break;
+    case SamplerKind::kWindow:
+      theory = MuWindow(kN, m, kWindow);
+      break;
+    case SamplerKind::kTime:
+      theory = MuTimeLinear(kN, m);
+      break;
+  }
+  EXPECT_NEAR(empirical, theory, 0.02)
+      << SamplerKindName(kind) << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MuSimulationTest,
+    ::testing::Combine(::testing::Values(SamplerKind::kUniform,
+                                         SamplerKind::kWindow,
+                                         SamplerKind::kTime),
+                       ::testing::Values(240u, 720u, 1100u)));
+
+}  // namespace
+}  // namespace cdpipe

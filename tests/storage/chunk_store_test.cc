@@ -1,0 +1,167 @@
+#include "src/storage/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpipe {
+namespace {
+
+RawChunk MakeRaw(ChunkId id, size_t records = 2) {
+  RawChunk chunk;
+  chunk.id = id;
+  chunk.event_time_seconds = id * 60;
+  for (size_t i = 0; i < records; ++i) {
+    chunk.records.push_back("record-" + std::to_string(id));
+  }
+  return chunk;
+}
+
+FeatureChunk MakeFeatures(ChunkId id) {
+  FeatureChunk chunk;
+  chunk.origin_id = id;
+  chunk.event_time_seconds = id * 60;
+  chunk.data.dim = 4;
+  chunk.data.features.push_back(SparseVector::FromUnsorted(4, {{0, 1.0}}));
+  chunk.data.labels.push_back(1.0);
+  return chunk;
+}
+
+TEST(ChunkStoreTest, PutAndGetRaw) {
+  ChunkStore store;
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  ASSERT_TRUE(store.PutRaw(MakeRaw(1)).ok());
+  EXPECT_EQ(store.num_raw(), 2u);
+  EXPECT_TRUE(store.Contains(0));
+  ASSERT_NE(store.GetRaw(1), nullptr);
+  EXPECT_EQ(store.GetRaw(1)->id, 1);
+  EXPECT_EQ(store.GetRaw(99), nullptr);
+  EXPECT_GT(store.RawBytes(), 0u);
+}
+
+TEST(ChunkStoreTest, IdsMustIncrease) {
+  ChunkStore store;
+  ASSERT_TRUE(store.PutRaw(MakeRaw(5)).ok());
+  EXPECT_FALSE(store.PutRaw(MakeRaw(5)).ok());
+  EXPECT_FALSE(store.PutRaw(MakeRaw(3)).ok());
+  EXPECT_TRUE(store.PutRaw(MakeRaw(6)).ok());
+}
+
+TEST(ChunkStoreTest, LiveIdsInOrder) {
+  ChunkStore store;
+  for (ChunkId id : {0, 1, 2}) ASSERT_TRUE(store.PutRaw(MakeRaw(id)).ok());
+  EXPECT_EQ(store.LiveIds(), (std::vector<ChunkId>{0, 1, 2}));
+}
+
+TEST(ChunkStoreTest, FeaturesRequireRawChunk) {
+  ChunkStore store;
+  EXPECT_FALSE(store.PutFeatures(MakeFeatures(7)).ok());
+  ASSERT_TRUE(store.PutRaw(MakeRaw(7)).ok());
+  EXPECT_TRUE(store.PutFeatures(MakeFeatures(7)).ok());
+  EXPECT_TRUE(store.IsMaterialized(7));
+  EXPECT_NE(store.GetFeatures(7), nullptr);
+}
+
+TEST(ChunkStoreTest, EvictsOldestMaterialized) {
+  ChunkStore::Options options;
+  options.max_materialized_chunks = 2;
+  ChunkStore store(options);
+  for (ChunkId id : {0, 1, 2}) {
+    ASSERT_TRUE(store.PutRaw(MakeRaw(id)).ok());
+    ASSERT_TRUE(store.PutFeatures(MakeFeatures(id)).ok());
+  }
+  EXPECT_EQ(store.num_materialized(), 2u);
+  EXPECT_FALSE(store.IsMaterialized(0));  // oldest evicted
+  EXPECT_TRUE(store.IsMaterialized(1));
+  EXPECT_TRUE(store.IsMaterialized(2));
+  // The raw chunk survives eviction (only the content is dropped).
+  EXPECT_TRUE(store.Contains(0));
+  EXPECT_EQ(store.counters().evictions, 1);
+}
+
+TEST(ChunkStoreTest, MaterializationDisabledStoresNothing) {
+  ChunkStore::Options options;
+  options.max_materialized_chunks = 0;
+  ChunkStore store(options);
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  EXPECT_TRUE(store.PutFeatures(MakeFeatures(0)).ok());
+  EXPECT_EQ(store.num_materialized(), 0u);
+  EXPECT_FALSE(store.IsMaterialized(0));
+}
+
+TEST(ChunkStoreTest, ReinsertReplacesWithoutEviction) {
+  ChunkStore::Options options;
+  options.max_materialized_chunks = 2;
+  ChunkStore store(options);
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  ASSERT_TRUE(store.PutRaw(MakeRaw(1)).ok());
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(0)).ok());
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(1)).ok());
+  FeatureChunk replacement = MakeFeatures(0);
+  replacement.data.labels[0] = -1.0;
+  ASSERT_TRUE(store.PutFeatures(std::move(replacement)).ok());
+  EXPECT_EQ(store.num_materialized(), 2u);
+  EXPECT_EQ(store.counters().evictions, 0);
+  EXPECT_DOUBLE_EQ(store.GetFeatures(0)->data.labels[0], -1.0);
+}
+
+TEST(ChunkStoreTest, BoundedRawDropsOldestAndItsFeatures) {
+  ChunkStore::Options options;
+  options.max_raw_chunks = 2;
+  ChunkStore store(options);
+  for (ChunkId id : {0, 1}) {
+    ASSERT_TRUE(store.PutRaw(MakeRaw(id)).ok());
+    ASSERT_TRUE(store.PutFeatures(MakeFeatures(id)).ok());
+  }
+  ASSERT_TRUE(store.PutRaw(MakeRaw(2)).ok());
+  EXPECT_EQ(store.num_raw(), 2u);
+  EXPECT_FALSE(store.Contains(0));
+  EXPECT_FALSE(store.IsMaterialized(0));
+  EXPECT_EQ(store.LiveIds(), (std::vector<ChunkId>{1, 2}));
+  EXPECT_EQ(store.counters().raw_dropped, 1);
+}
+
+TEST(ChunkStoreTest, SampleAccessCountsHitsAndMisses) {
+  ChunkStore::Options options;
+  options.max_materialized_chunks = 1;
+  ChunkStore store(options);
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  ASSERT_TRUE(store.PutRaw(MakeRaw(1)).ok());
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(0)).ok());
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(1)).ok());  // evicts 0
+  store.RecordSampleAccess(0);
+  store.RecordSampleAccess(1);
+  store.RecordSampleAccess(1);
+  EXPECT_EQ(store.counters().sample_hits, 2);
+  EXPECT_EQ(store.counters().sample_misses, 1);
+  EXPECT_NEAR(store.counters().EmpiricalMu(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ChunkStoreTest, ResetCountersKeepsData) {
+  ChunkStore store;
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  store.RecordSampleAccess(0);
+  store.ResetCounters();
+  EXPECT_EQ(store.counters().sample_misses, 0);
+  EXPECT_EQ(store.counters().raw_inserted, 0);
+  EXPECT_EQ(store.num_raw(), 1u);
+}
+
+TEST(ChunkStoreTest, ByteAccountingFollowsEviction) {
+  ChunkStore::Options options;
+  options.max_materialized_chunks = 1;
+  ChunkStore store(options);
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  ASSERT_TRUE(store.PutRaw(MakeRaw(1)).ok());
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(0)).ok());
+  const size_t one = store.MaterializedBytes();
+  EXPECT_GT(one, 0u);
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(1)).ok());
+  EXPECT_EQ(store.MaterializedBytes(), one);  // evicted 0, stored 1
+}
+
+TEST(ChunkStoreTest, EmptyMuIsZero) {
+  ChunkStore store;
+  EXPECT_DOUBLE_EQ(store.counters().EmpiricalMu(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdpipe
