@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "src/common/string_util.h"
+#include "src/obs/exporters.h"
 
 namespace cdpipe {
 namespace bench {
@@ -257,7 +259,9 @@ DeploymentReport RunDeployment(const Scenario& scenario, StrategyKind kind,
                  report.status().ToString().c_str());
     std::exit(1);
   }
-  return std::move(report).ValueOrDie();
+  DeploymentReport result = std::move(report).ValueOrDie();
+  PrintStageBreakdown(result);
+  return result;
 }
 
 void PrintCurve(const DeploymentReport& report, size_t points) {
@@ -279,6 +283,74 @@ void PrintSummaryRow(const std::string& label,
       label.c_str(), report.final_error, report.average_error,
       report.total_seconds, static_cast<long long>(report.total_work),
       report.empirical_mu);
+}
+
+void PrintStageBreakdown(const DeploymentReport& report) {
+  std::string line = StrFormat("  [%s] stages:", report.strategy.c_str());
+  for (size_t i = 0; i < static_cast<size_t>(CostPhase::kNumPhases); ++i) {
+    const CostPhase phase = static_cast<CostPhase>(i);
+    line += StrFormat(" %s=%.3fs", CostPhaseName(phase),
+                      report.cost.SecondsIn(phase));
+  }
+  line += StrFormat(" total=%.3fs", report.total_seconds);
+  std::printf("%s\n", line.c_str());
+}
+
+std::string ReportToJson(const std::string& label,
+                         const DeploymentReport& report) {
+  std::string out = "{";
+  out += StrFormat("\"label\":\"%s\",", label.c_str());
+  out += StrFormat("\"strategy\":\"%s\",", report.strategy.c_str());
+  out += StrFormat("\"metric\":\"%s\",", report.metric_name.c_str());
+  out += StrFormat("\"final_error\":%.9g,", report.final_error);
+  out += StrFormat("\"average_error\":%.9g,", report.average_error);
+  out += StrFormat("\"total_seconds\":%.9g,", report.total_seconds);
+  out += StrFormat("\"total_work\":%lld,",
+                   static_cast<long long>(report.total_work));
+  out += StrFormat("\"empirical_mu\":%.9g,", report.empirical_mu);
+  out += StrFormat("\"chunks_processed\":%lld,",
+                   static_cast<long long>(report.chunks_processed));
+  out += StrFormat("\"proactive_iterations\":%lld,",
+                   static_cast<long long>(report.proactive_iterations));
+  out += StrFormat("\"retrainings\":%lld,",
+                   static_cast<long long>(report.retrainings));
+  out += StrFormat("\"drift_events\":%lld,",
+                   static_cast<long long>(report.drift_events));
+  out += "\"stage_seconds\":{";
+  for (size_t i = 0; i < static_cast<size_t>(CostPhase::kNumPhases); ++i) {
+    const CostPhase phase = static_cast<CostPhase>(i);
+    if (i > 0) out += ",";
+    out += StrFormat("\"%s\":%.9g", CostPhaseName(phase),
+                     report.cost.SecondsIn(phase));
+  }
+  out += "},";
+  // Per-run delta of the global metrics registry (counters/histograms; see
+  // src/obs/exporters.h for the schema).
+  out += "\"metrics\":" + obs::ToJson(report.metrics);
+  out += "}";
+  return out;
+}
+
+void WriteReportsJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const DeploymentReport*>>&
+        reports) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\"reports\":[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out << ",";
+    out << ReportToJson(reports[i].first, *reports[i].second);
+  }
+  out << "]}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "failed writing '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("  wrote JSON report: %s\n", path.c_str());
 }
 
 }  // namespace bench

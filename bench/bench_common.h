@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/continuous_deployment.h"
@@ -145,6 +146,22 @@ void PrintCurve(const DeploymentReport& report, size_t points = 12);
 /// Prints a one-line summary row: strategy, final error, avg error, cost.
 void PrintSummaryRow(const std::string& label,
                      const DeploymentReport& report);
+
+/// Prints the one-line per-phase wall-clock breakdown of a run, e.g.
+///   [continuous] preprocessing=1.23s online_training=0.45s ...
+void PrintStageBreakdown(const DeploymentReport& report);
+
+/// Serializes a report (summary counters, per-phase cost, and the per-run
+/// metrics-registry snapshot from src/obs) as a JSON object.
+std::string ReportToJson(const std::string& label,
+                         const DeploymentReport& report);
+
+/// Writes `{"reports":[...]}` for a set of labeled reports to `path`.
+/// Aborts on I/O failure (benchmark binaries).
+void WriteReportsJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const DeploymentReport*>>&
+        reports);
 
 }  // namespace bench
 }  // namespace cdpipe

@@ -8,8 +8,12 @@
 // measures 15× for URL, 6× for Taxi between periodical and continuous).
 //
 // Flags: --scenario=url|taxi|both  --scale=1.0  --seed=42  --describe
+//        --json_out=PATH   (writes summary + per-run metrics snapshot JSON;
+//                           with --scenario=both the scenario name is
+//                           appended before the extension)
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 
@@ -27,7 +31,7 @@ void Describe(const Scenario& scenario) {
       scenario.proactive_sample_chunks(), scenario.retrain_every_chunks());
 }
 
-void RunScenario(const Scenario& scenario) {
+void RunScenario(const Scenario& scenario, const std::string& json_out) {
   std::printf("\n=== Figure 4 — %s (%s) ===\n", scenario.name().c_str(),
               scenario.metric_label().c_str());
   Describe(scenario);
@@ -77,6 +81,21 @@ void RunScenario(const Scenario& scenario) {
       "  quality delta continuous vs periodical: %+.5f\n",
       online.final_error - continuous.final_error,
       periodical.final_error - continuous.final_error);
+
+  if (!json_out.empty()) {
+    WriteReportsJson(json_out, {{"online", &online},
+                                {"periodical", &periodical},
+                                {"continuous", &continuous}});
+  }
+}
+
+std::string ScenarioJsonPath(const std::string& base,
+                             const std::string& scenario, bool both) {
+  if (base.empty() || !both) return base;
+  const size_t dot = base.rfind('.');
+  const std::string suffix = "_" + scenario;
+  if (dot == std::string::npos) return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
 }  // namespace
@@ -89,13 +108,17 @@ int main(int argc, char** argv) {
   const double scale = flags.GetDouble("scale", 1.0);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string which = flags.GetString("scenario", "both");
+  const std::string json_out = flags.GetString("json_out", "");
+  const bool both = which == "both";
 
   std::printf("bench_fig4_deployment: deployment approaches comparison\n");
-  if (which == "url" || which == "both") {
-    RunScenario(UrlScenario(scale, seed));
+  if (which == "url" || both) {
+    RunScenario(UrlScenario(scale, seed),
+                ScenarioJsonPath(json_out, "url", both));
   }
-  if (which == "taxi" || which == "both") {
-    RunScenario(TaxiScenario(scale, seed));
+  if (which == "taxi" || both) {
+    RunScenario(TaxiScenario(scale, seed),
+                ScenarioJsonPath(json_out, "taxi", both));
   }
   return 0;
 }

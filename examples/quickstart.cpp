@@ -8,12 +8,16 @@
 // history every 5 chunks.
 //
 //   ./quickstart
+//
+// Set CDPIPE_TRACE=/tmp/trace.json to record a span trace of the whole run
+// (open it in chrome://tracing or https://ui.perfetto.dev).
 
 #include <cstdio>
 #include <memory>
 
 #include "src/core/continuous_deployment.h"
 #include "src/data/url_stream.h"
+#include "src/obs/trace.h"
 
 using namespace cdpipe;
 
@@ -86,5 +90,11 @@ int main() {
               static_cast<long long>(report->storage.sample_hits),
               static_cast<long long>(report->storage.sample_misses),
               report->empirical_mu);
+  if (obs::Tracer::Global().enabled()) {
+    std::printf("trace: %zu spans buffered, dumping to %s at exit "
+                "(open in chrome://tracing)\n",
+                obs::Tracer::Global().NumBufferedEvents(),
+                obs::Tracer::Global().dump_path().c_str());
+  }
   return 0;
 }

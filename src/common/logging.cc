@@ -1,12 +1,14 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace cdpipe {
 namespace {
-
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,24 +24,84 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int InitialLogLevel() {
+  const char* env = std::getenv("CDPIPE_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  return static_cast<int>(ParseLogLevelOrDefault(env, LogLevel::kWarning));
+}
+
+/// The threshold lives behind a function so the environment override is
+/// applied exactly once, on first use, regardless of static-init order.
+std::atomic<int>& LogLevelVar() {
+  static std::atomic<int> level{InitialLogLevel()};
+  return level;
+}
+
+/// Small sequential ids ("t0", "t1", ...) read better in interleaved logs
+/// than the opaque values std::thread::id prints.
+int ThisThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Wall-clock timestamp "YYYY-MM-DD HH:MM:SS.mmm" (UTC).
+void AppendTimestamp(std::ostringstream& stream) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02d %02d:%02d:%02d.%03d", tm_utc.tm_year + 1900,
+                tm_utc.tm_mon + 1, tm_utc.tm_mday, tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, static_cast<int>(millis));
+  stream << buffer;
+}
+
 }  // namespace
 
+LogLevel ParseLogLevelOrDefault(const std::string& value, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(value.size());
+  for (char c : value) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
+
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  LogLevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      LogLevelVar().load(std::memory_order_relaxed));
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
+               LogLevelVar().load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+    stream_ << "[";
+    AppendTimestamp(stream_);
+    stream_ << " " << LevelName(level_) << " t" << ThisThreadId() << " "
+            << file << ":" << line << "] ";
   }
 }
 
@@ -51,8 +113,10 @@ LogMessage::~LogMessage() {
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
                                  const char* condition) {
-  stream_ << "[FATAL " << file << ":" << line << "] check failed: " << condition
-          << " ";
+  stream_ << "[";
+  AppendTimestamp(stream_);
+  stream_ << " FATAL t" << ThisThreadId() << " " << file << ":" << line
+          << "] check failed: " << condition << " ";
 }
 
 FatalLogMessage::~FatalLogMessage() {

@@ -10,9 +10,17 @@ namespace cdpipe {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Global log threshold; messages below it are discarded.  Defaults to
-/// kWarning so library internals stay quiet in tests and benchmarks.
+/// kWarning so library internals stay quiet in tests and benchmarks.  The
+/// default can be overridden at startup with the CDPIPE_LOG_LEVEL
+/// environment variable ("debug"|"info"|"warning"|"error", or 0-3); an
+/// explicit SetLogLevel always wins over the environment.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a log level name ("debug", "info", "warn"/"warning", "error",
+/// case-insensitive, or a numeric 0-3).  Unrecognized values return
+/// `fallback`.
+LogLevel ParseLogLevelOrDefault(const std::string& value, LogLevel fallback);
 
 namespace internal {
 

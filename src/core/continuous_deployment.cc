@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace cdpipe {
 
@@ -38,6 +40,9 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
             outcome.mean_error_signal);
     if (state == DriftState::kDrift) {
       ++drift_events_;
+      obs::MetricsRegistry::Global()
+          .GetCounter("deployment.drift_events")
+          ->Increment();
       CDPIPE_RETURN_NOT_OK(RunDriftBurst());
       continuous_options_.drift_detector->Reset();
     }
@@ -54,6 +59,7 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
 
   if (!ProactiveDue(stream_index, chunk)) return Status::OK();
 
+  CDPIPE_TRACE_SPAN("deployment.proactive", "deployment");
   CDPIPE_ASSIGN_OR_RETURN(
       DataManager::SampleSet sample,
       data_manager().SampleForTraining(continuous_options_.sample_chunks,
@@ -69,6 +75,7 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
 }
 
 Status ContinuousDeployment::RunDriftBurst() {
+  CDPIPE_TRACE_SPAN("deployment.drift_burst", "deployment");
   // Sample only from the freshest chunks — they reflect the new concept.
   WindowSampler window(continuous_options_.drift_window_chunks);
   for (size_t i = 0; i < continuous_options_.drift_burst_iterations; ++i) {

@@ -3,8 +3,30 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace cdpipe {
+namespace {
+
+struct DeploymentMetrics {
+  obs::Counter* chunks_processed;
+  obs::Histogram* chunk_seconds;
+
+  static const DeploymentMetrics& Get() {
+    static const DeploymentMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      DeploymentMetrics m;
+      m.chunks_processed = registry.GetCounter("deployment.chunks_processed");
+      m.chunk_seconds = registry.GetHistogram("deployment.chunk_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Deployment::Deployment(std::string strategy_name, Options options,
                        std::unique_ptr<Pipeline> pipeline,
@@ -58,6 +80,9 @@ Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
 }
 
 Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
+  CDPIPE_TRACE_SPAN("deployment.run", "deployment");
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Global().Snapshot();
   cost_.Reset();
   data_manager_.mutable_store().ResetCounters();
   PrequentialEvaluator evaluator(metric_prototype_->Clone(),
@@ -71,6 +96,8 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   double sum_cumulative_error = 0.0;
   int64_t previous_event_time = stream.empty() ? 0 : stream[0].event_time_seconds;
   for (size_t i = 0; i < stream.size(); ++i) {
+    CDPIPE_TRACE_SPAN("deployment.chunk", "deployment");
+    Stopwatch chunk_watch;
     const RawChunk& chunk = stream[i];
     CDPIPE_RETURN_NOT_OK(data_manager_.IngestChunk(chunk));
     // The store owns the canonical copy; process that one.
@@ -109,6 +136,9 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
     row.cumulative_work = cost_.TotalWork();
     report.curve.push_back(row);
     sum_cumulative_error += row.cumulative_error;
+    DeploymentMetrics::Get().chunks_processed->Increment();
+    DeploymentMetrics::Get().chunk_seconds->Observe(
+        chunk_watch.ElapsedSeconds());
   }
 
   report.final_error = evaluator.CumulativeValue();
@@ -123,6 +153,8 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   report.empirical_mu = report.storage.EmpiricalMu();
   report.chunks_processed = static_cast<int64_t>(stream.size());
   report.initial_training_epochs = initial_training_epochs_;
+  report.metrics = obs::MetricsSnapshot::Delta(
+      metrics_before, obs::MetricsRegistry::Global().Snapshot());
   FillReport(&report);
   return report;
 }

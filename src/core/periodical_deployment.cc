@@ -5,6 +5,8 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/core/proactive_trainer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace cdpipe {
 
@@ -53,6 +55,7 @@ Status PeriodicalDeployment::AfterChunk(size_t stream_index,
 }
 
 Status PeriodicalDeployment::Retrain() {
+  CDPIPE_TRACE_SPAN("deployment.retrain", "deployment");
   // Full retraining: preprocess the *entire* available history.  Chunks that
   // happen to be materialized are reused; in the authentic periodical
   // configuration (max_materialized_chunks = 0) everything is re-transformed
@@ -106,6 +109,9 @@ Status PeriodicalDeployment::Retrain() {
 
   pipeline_manager().Redeploy(std::move(model), std::move(optimizer));
   ++retrainings_;
+  obs::MetricsRegistry::Global()
+      .GetCounter("deployment.retrainings")
+      ->Increment();
   return Status::OK();
 }
 

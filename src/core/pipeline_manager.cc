@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace cdpipe {
 
@@ -24,9 +25,11 @@ PipelineManager::PipelineManager(std::unique_ptr<Pipeline> pipeline,
 Result<FeatureChunk> PipelineManager::OnlineStep(
     const RawChunk& chunk, PrequentialEvaluator* evaluator,
     bool online_learn) {
+  CDPIPE_TRACE_SPAN("pipeline.online_step", "pipeline");
   // 1. Online statistics computation + transform.
   FeatureData features;
   {
+    CDPIPE_TRACE_SPAN("pipeline.preprocess", "pipeline");
     CostModel::ScopedTimer timer(cost_, CostPhase::kPreprocessing);
     size_t rows_scanned = 0;
     // The online path always folds statistics in — the NoOptimization
@@ -41,6 +44,7 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
 
   // 2. Prequential evaluation with the pre-update model.
   if (evaluator != nullptr) {
+    CDPIPE_TRACE_SPAN("pipeline.predict", "ml");
     CostModel::ScopedTimer timer(cost_, CostPhase::kPrediction);
     for (size_t r = 0; r < features.num_rows(); ++r) {
       evaluator->Observe(model_->Predict(features.features[r]),
@@ -52,6 +56,7 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
 
   // 3. Online learning: one SGD update over the chunk.
   if (online_learn && features.num_rows() > 0) {
+    CDPIPE_TRACE_SPAN("pipeline.online_sgd", "ml");
     CostModel::ScopedTimer timer(cost_, CostPhase::kOnlineTraining);
     model_->EnsureDim(features.dim);
     CDPIPE_RETURN_NOT_OK(model_->Update(features, optimizer_.get()));
@@ -68,6 +73,7 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
 
 Result<FeatureChunk> PipelineManager::Rematerialize(
     const RawChunk& chunk) const {
+  CDPIPE_TRACE_SPAN("chunk_store.rematerialize", "storage");
   CostModel::ScopedTimer timer(cost_, CostPhase::kMaterialization);
   size_t rows_scanned = 0;
   Result<FeatureData> features =
@@ -95,6 +101,7 @@ Result<FeatureData> PipelineManager::TransformForInference(
 }
 
 Status PipelineManager::TrainStep(const FeatureData& batch, CostPhase phase) {
+  CDPIPE_TRACE_SPAN("pipeline.train_step", "ml");
   CostModel::ScopedTimer timer(cost_, phase);
   model_->EnsureDim(batch.dim);
   CDPIPE_RETURN_NOT_OK(model_->Update(batch, optimizer_.get()));

@@ -4,8 +4,40 @@
 
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace cdpipe {
+namespace {
+
+struct TrainerMetrics {
+  obs::Counter* iterations;
+  obs::Counter* chunks_rematerialized;
+  obs::Counter* rows_trained;
+  obs::Histogram* iteration_seconds;
+  obs::Histogram* rematerialize_seconds;
+  obs::Histogram* sgd_step_seconds;
+
+  static const TrainerMetrics& Get() {
+    static const TrainerMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      TrainerMetrics m;
+      m.iterations = registry.GetCounter("proactive.iterations");
+      m.chunks_rematerialized =
+          registry.GetCounter("proactive.chunks_rematerialized");
+      m.rows_trained = registry.GetCounter("proactive.rows_trained");
+      m.iteration_seconds =
+          registry.GetHistogram("proactive.iteration_seconds");
+      m.rematerialize_seconds =
+          registry.GetHistogram("proactive.rematerialize_seconds");
+      m.sgd_step_seconds = registry.GetHistogram("proactive.sgd_step_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts) {
   FeatureData out;
@@ -44,19 +76,30 @@ ProactiveTrainer::ProactiveTrainer(PipelineManager* pipeline_manager,
 }
 
 Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
+  CDPIPE_TRACE_SPAN("proactive.iteration", "training");
+  const TrainerMetrics& metrics = TrainerMetrics::Get();
   Stopwatch watch;
 
   // Dynamic materialization: rebuild the evicted chunks in the sample.
   std::vector<FeatureChunk> rebuilt(sample.to_rematerialize.size());
-  CDPIPE_RETURN_NOT_OK(engine_->ParallelFor(
-      sample.to_rematerialize.size(), [&](size_t i) -> Status {
-        CDPIPE_ASSIGN_OR_RETURN(
-            rebuilt[i],
-            pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]));
-        return Status::OK();
-      }));
+  {
+    CDPIPE_TRACE_SPAN("proactive.rematerialize", "training");
+    Stopwatch remat_watch;
+    CDPIPE_RETURN_NOT_OK(engine_->ParallelFor(
+        sample.to_rematerialize.size(), [&](size_t i) -> Status {
+          CDPIPE_ASSIGN_OR_RETURN(
+              rebuilt[i],
+              pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]));
+          return Status::OK();
+        }));
+    if (!sample.to_rematerialize.empty()) {
+      metrics.rematerialize_seconds->Observe(remat_watch.ElapsedSeconds());
+    }
+  }
   stats_.chunks_rematerialized +=
       static_cast<int64_t>(sample.to_rematerialize.size());
+  metrics.chunks_rematerialized->Add(
+      static_cast<int64_t>(sample.to_rematerialize.size()));
 
   std::vector<const FeatureData*> parts;
   parts.reserve(sample.materialized.size() + rebuilt.size());
@@ -67,14 +110,20 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
 
   const FeatureData batch = MergeFeatureData(parts);
   if (batch.num_rows() > 0) {
+    CDPIPE_TRACE_SPAN("proactive.sgd_step", "training");
+    Stopwatch sgd_watch;
     CDPIPE_RETURN_NOT_OK(
         pipeline_manager_->TrainStep(batch, CostPhase::kProactiveTraining));
+    metrics.sgd_step_seconds->Observe(sgd_watch.ElapsedSeconds());
   }
 
   ++stats_.iterations;
   stats_.rows_trained += static_cast<int64_t>(batch.num_rows());
   stats_.last_duration_seconds = watch.ElapsedSeconds();
   stats_.total_duration_seconds += stats_.last_duration_seconds;
+  metrics.iterations->Increment();
+  metrics.rows_trained->Add(static_cast<int64_t>(batch.num_rows()));
+  metrics.iteration_seconds->Observe(stats_.last_duration_seconds);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/cost_model.h"
+#include "src/obs/metrics.h"
 #include "src/storage/chunk_store.h"
 
 namespace cdpipe {
@@ -37,6 +38,10 @@ struct DeploymentReport {
 
   CostModel cost;
   ChunkStore::Counters storage;
+  /// Per-run delta of the global metrics registry (counters and histogram
+  /// buckets recorded during this Run; gauges hold end-of-run values).
+  /// Export with obs::ToJson / obs::ToPrometheusText.
+  obs::MetricsSnapshot metrics;
   double empirical_mu = 0.0;
   int64_t proactive_iterations = 0;
   double average_proactive_seconds = 0.0;

@@ -3,8 +3,35 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace cdpipe {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* tasks_executed;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* task_seconds;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      PoolMetrics m;
+      m.tasks_executed = registry.GetCounter("thread_pool.tasks_executed");
+      m.queue_depth = registry.GetGauge("thread_pool.queue_depth");
+      m.queue_wait_seconds =
+          registry.GetHistogram("thread_pool.queue_wait_seconds");
+      m.task_seconds = registry.GetHistogram("thread_pool.task_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   CDPIPE_CHECK_GT(num_threads, 0u);
@@ -27,8 +54,9 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     CDPIPE_CHECK(!shutting_down_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), obs::Tracer::NowMicros()});
     ++in_flight_;
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -39,8 +67,9 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -48,8 +77,18 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
-    task();
+    metrics.queue_wait_seconds->Observe(
+        static_cast<double>(obs::Tracer::NowMicros() - task.enqueue_us) *
+        1e-6);
+    {
+      CDPIPE_TRACE_SPAN("thread_pool.task", "engine");
+      Stopwatch watch;
+      task.fn();
+      metrics.task_seconds->Observe(watch.ElapsedSeconds());
+    }
+    metrics.tasks_executed->Increment();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -31,10 +31,15 @@ class ThreadPool {
   void Wait();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;  ///< for the queue-wait latency histogram
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

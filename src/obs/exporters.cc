@@ -1,0 +1,111 @@
+#include "src/obs/exporters.h"
+
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace cdpipe {
+namespace obs {
+namespace {
+
+/// %g loses no precision we care about and keeps the output compact; +Inf
+/// needs special-casing for Prometheus.
+std::string FormatDouble(double v) { return StrFormat("%.9g", v); }
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cdpipe_";
+  for (char c : name) {
+    const bool legal = std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + StrFormat("%lld", static_cast<long long>(c.value)) +
+           "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.hist.upper_bounds.size(); ++i) {
+      cumulative += h.hist.counts[i];
+      out += name + "_bucket{le=\"" + FormatDouble(h.hist.upper_bounds[i]) +
+             "\"} " + StrFormat("%llu", static_cast<unsigned long long>(
+                                            cumulative)) +
+             "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(h.hist.total_count)) +
+           "\n";
+    out += name + "_sum " + FormatDouble(h.hist.sum) + "\n";
+    out += name + "_count " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(h.hist.total_count)) +
+           "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  // Metric names are code-controlled identifiers (letters, digits, dots,
+  // underscores), so plain quoting is safe.
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    if (i > 0) out += ',';
+    out += "\"" + c.name + "\":" +
+           StrFormat("%lld", static_cast<long long>(c.value));
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    if (i > 0) out += ',';
+    out += "\"" + g.name + "\":" + FormatDouble(g.value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out += ',';
+    out += "\"" + h.name + "\":{";
+    out += "\"count\":" +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(h.hist.total_count));
+    out += ",\"sum\":" + FormatDouble(h.hist.sum);
+    out += ",\"mean\":" + FormatDouble(h.hist.Mean());
+    out += ",\"p50\":" + FormatDouble(h.hist.P50());
+    out += ",\"p95\":" + FormatDouble(h.hist.P95());
+    out += ",\"p99\":" + FormatDouble(h.hist.P99());
+    out += ",\"buckets\":[";
+    for (size_t b = 0; b < h.hist.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      const std::string le = b < h.hist.upper_bounds.size()
+                                 ? FormatDouble(h.hist.upper_bounds[b])
+                                 : "\"+Inf\"";
+      out += "[" + le + "," +
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(h.hist.counts[b])) +
+             "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cdpipe

@@ -1,0 +1,28 @@
+#ifndef CDPIPE_OBS_EXPORTERS_H_
+#define CDPIPE_OBS_EXPORTERS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace cdpipe {
+namespace obs {
+
+/// Converts an internal metric name ("chunk_store.sample_hits") to a legal
+/// Prometheus metric name ("cdpipe_chunk_store_sample_hits").
+std::string PrometheusName(const std::string& name);
+
+/// Prometheus text exposition format (version 0.0.4): one `# TYPE` line per
+/// metric, cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for
+/// histograms.  Suitable for a /metrics endpoint or a textfile collector.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Machine-readable JSON snapshot:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{name:{count,sum,mean,p50,p95,p99,buckets:[[le,n],...]}}}
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace cdpipe
+
+#endif  // CDPIPE_OBS_EXPORTERS_H_

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "src/common/stopwatch.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace cdpipe {
+namespace {
+
+obs::Histogram* ComponentHistogram(const std::string& component_name) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "pipeline.component." + component_name + ".transform_seconds");
+}
+
+}  // namespace
+
 namespace {
 
 /// The pipeline contract: the final batch must be vectorized features.
@@ -33,6 +46,7 @@ Status Pipeline::AddComponent(std::unique_ptr<PipelineComponent> component) {
         "' keeps statistics that cannot be computed incrementally; the "
         "platform does not support such components (paper, section 3.1)");
   }
+  component_histograms_.push_back(ComponentHistogram(component->name()));
   components_.push_back(std::move(component));
   return Status::OK();
 }
@@ -52,13 +66,17 @@ TableData Pipeline::WrapRaw(const RawChunk& chunk) {
 Result<FeatureData> Pipeline::UpdateAndTransform(const RawChunk& chunk,
                                                  size_t* rows_scanned) {
   DataBatch batch = WrapRaw(chunk);
-  for (const auto& component : components_) {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const auto& component = components_[i];
+    CDPIPE_TRACE_SPAN(component->name(), "pipeline");
+    Stopwatch watch;
     if (component->is_stateful()) {
       CountScan(rows_scanned, batch);  // the statistics-update scan
       CDPIPE_RETURN_NOT_OK(component->Update(batch));
     }
     CountScan(rows_scanned, batch);  // the transform scan
     CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+    component_histograms_[i]->Observe(watch.ElapsedSeconds());
   }
   return FinishBatch(std::move(batch), ToString());
 }
@@ -66,9 +84,13 @@ Result<FeatureData> Pipeline::UpdateAndTransform(const RawChunk& chunk,
 Result<FeatureData> Pipeline::Transform(const RawChunk& chunk,
                                         size_t* rows_scanned) const {
   DataBatch batch = WrapRaw(chunk);
-  for (const auto& component : components_) {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const auto& component = components_[i];
+    CDPIPE_TRACE_SPAN(component->name(), "pipeline");
+    Stopwatch watch;
     CountScan(rows_scanned, batch);
     CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+    component_histograms_[i]->Observe(watch.ElapsedSeconds());
   }
   return FinishBatch(std::move(batch), ToString());
 }
@@ -76,7 +98,10 @@ Result<FeatureData> Pipeline::Transform(const RawChunk& chunk,
 Result<FeatureData> Pipeline::TransformRecomputingStatistics(
     const RawChunk& chunk, size_t* rows_scanned) const {
   DataBatch batch = WrapRaw(chunk);
-  for (const auto& component : components_) {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const auto& component = components_[i];
+    CDPIPE_TRACE_SPAN(component->name(), "pipeline");
+    Stopwatch watch;
     if (component->is_stateful()) {
       // Without online statistics computation the platform has to rescan the
       // chunk to rebuild the component's statistics before transforming.
@@ -90,6 +115,7 @@ Result<FeatureData> Pipeline::TransformRecomputingStatistics(
       CountScan(rows_scanned, batch);
       CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
     }
+    component_histograms_[i]->Observe(watch.ElapsedSeconds());
   }
   return FinishBatch(std::move(batch), ToString());
 }
@@ -97,6 +123,8 @@ Result<FeatureData> Pipeline::TransformRecomputingStatistics(
 std::unique_ptr<Pipeline> Pipeline::Clone() const {
   auto out = std::make_unique<Pipeline>();
   for (const auto& component : components_) {
+    out->component_histograms_.push_back(
+        ComponentHistogram(component->name()));
     out->components_.push_back(component->Clone());
   }
   return out;

@@ -11,6 +11,10 @@
 
 namespace cdpipe {
 
+namespace obs {
+class Histogram;
+}  // namespace obs
+
 /// An ordered sequence of pipeline components ending in a vectorizing stage,
 /// i.e. the full preprocessing part of a deployed ML pipeline.  The model is
 /// deliberately *not* part of this class — it is attached by the
@@ -83,6 +87,10 @@ class Pipeline {
 
  private:
   std::vector<std::unique_ptr<PipelineComponent>> components_;
+  /// Parallel to components_: per-component transform-latency histograms
+  /// ("pipeline.component.<Name>.transform_seconds") in the global metrics
+  /// registry.  Components of the same name share one histogram.
+  std::vector<obs::Histogram*> component_histograms_;
 };
 
 }  // namespace cdpipe

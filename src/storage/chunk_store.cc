@@ -4,8 +4,53 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace cdpipe {
+namespace {
+
+/// Registry handles are fetched once and shared by every store instance:
+/// the global metrics aggregate over all stores in the process, gauges
+/// reflect the most recent writer.
+struct StoreMetrics {
+  obs::Counter* raw_inserted;
+  obs::Counter* raw_dropped;
+  obs::Counter* features_inserted;
+  obs::Counter* features_rematerialized;
+  obs::Counter* evictions;
+  obs::Counter* sample_hits;
+  obs::Counter* sample_misses;
+  obs::Gauge* num_raw;
+  obs::Gauge* num_materialized;
+  obs::Gauge* raw_bytes;
+  obs::Gauge* feature_bytes;
+  obs::Gauge* empirical_mu;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      StoreMetrics m;
+      m.raw_inserted = registry.GetCounter("chunk_store.raw_inserted");
+      m.raw_dropped = registry.GetCounter("chunk_store.raw_dropped");
+      m.features_inserted =
+          registry.GetCounter("chunk_store.features_inserted");
+      m.features_rematerialized =
+          registry.GetCounter("chunk_store.features_rematerialized");
+      m.evictions = registry.GetCounter("chunk_store.evictions");
+      m.sample_hits = registry.GetCounter("chunk_store.sample_hits");
+      m.sample_misses = registry.GetCounter("chunk_store.sample_misses");
+      m.num_raw = registry.GetGauge("chunk_store.num_raw");
+      m.num_materialized = registry.GetGauge("chunk_store.num_materialized");
+      m.raw_bytes = registry.GetGauge("chunk_store.raw_bytes");
+      m.feature_bytes = registry.GetGauge("chunk_store.feature_bytes");
+      m.empirical_mu = registry.GetGauge("chunk_store.empirical_mu");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ChunkStore::ChunkStore(Options options) : options_(options) {}
 
@@ -20,9 +65,11 @@ Status ChunkStore::PutRaw(RawChunk chunk) {
   raw_order_.push_back(chunk.id);
   raw_.emplace(chunk.id, std::move(chunk));
   ++counters_.raw_inserted;
+  StoreMetrics::Get().raw_inserted->Increment();
   if (options_.max_raw_chunks > 0) {
     while (raw_order_.size() > options_.max_raw_chunks) DropOldestRaw();
   }
+  UpdateResidencyGauges();
   return Status::OK();
 }
 
@@ -43,6 +90,9 @@ Status ChunkStore::PutFeatures(FeatureChunk chunk) {
     feature_bytes_ -= it->second.ByteSize();
     feature_bytes_ += chunk.ByteSize();
     it->second = std::move(chunk);
+    ++counters_.features_rematerialized;
+    StoreMetrics::Get().features_rematerialized->Increment();
+    UpdateResidencyGauges();
     return Status::OK();
   }
   feature_bytes_ += chunk.ByteSize();
@@ -58,9 +108,11 @@ Status ChunkStore::PutFeatures(FeatureChunk chunk) {
   }
   features_.emplace(id, std::move(chunk));
   ++counters_.features_inserted;
+  StoreMetrics::Get().features_inserted->Increment();
   while (materialized_order_.size() > options_.max_materialized_chunks) {
     EvictOldestMaterialized();
   }
+  UpdateResidencyGauges();
   return Status::OK();
 }
 
@@ -81,9 +133,12 @@ const FeatureChunk* ChunkStore::GetFeatures(ChunkId id) const {
 void ChunkStore::RecordSampleAccess(ChunkId id) {
   if (IsMaterialized(id)) {
     ++counters_.sample_hits;
+    StoreMetrics::Get().sample_hits->Increment();
   } else {
     ++counters_.sample_misses;
+    StoreMetrics::Get().sample_misses->Increment();
   }
+  StoreMetrics::Get().empirical_mu->Set(counters_.EmpiricalMu());
 }
 
 void ChunkStore::EvictOldestMaterialized() {
@@ -97,6 +152,7 @@ void ChunkStore::EvictOldestMaterialized() {
   // chunk survive implicitly (the raw chunk is still in the log).
   features_.erase(it);
   ++counters_.evictions;
+  StoreMetrics::Get().evictions->Increment();
 }
 
 void ChunkStore::DropOldestRaw() {
@@ -108,6 +164,7 @@ void ChunkStore::DropOldestRaw() {
   raw_bytes_ -= raw_it->second.ByteSize();
   raw_.erase(raw_it);
   ++counters_.raw_dropped;
+  StoreMetrics::Get().raw_dropped->Increment();
   // A feature chunk must never outlive its raw chunk.
   auto feat_it = features_.find(victim);
   if (feat_it != features_.end()) {
@@ -118,6 +175,15 @@ void ChunkStore::DropOldestRaw() {
     CDPIPE_CHECK(pos != materialized_order_.end());
     materialized_order_.erase(pos);
   }
+}
+
+void ChunkStore::UpdateResidencyGauges() const {
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  metrics.num_raw->Set(static_cast<double>(raw_order_.size()));
+  metrics.num_materialized->Set(
+      static_cast<double>(materialized_order_.size()));
+  metrics.raw_bytes->Set(static_cast<double>(raw_bytes_));
+  metrics.feature_bytes->Set(static_cast<double>(feature_bytes_));
 }
 
 }  // namespace cdpipe

@@ -42,6 +42,10 @@ class ChunkStore {
     int64_t raw_inserted = 0;
     int64_t raw_dropped = 0;
     int64_t features_inserted = 0;
+    /// PutFeatures calls that replaced an already-materialized chunk (a
+    /// re-materialization refresh) — deliberately *not* counted as
+    /// insertions.
+    int64_t features_rematerialized = 0;
     int64_t evictions = 0;
     /// Sampled chunks that were materialized / had to be re-materialized.
     int64_t sample_hits = 0;
@@ -100,6 +104,8 @@ class ChunkStore {
  private:
   void EvictOldestMaterialized();
   void DropOldestRaw();
+  /// Mirrors residency (counts/bytes) into the global metrics gauges.
+  void UpdateResidencyGauges() const;
 
   Options options_;
   Counters counters_;

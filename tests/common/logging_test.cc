@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+
 namespace cdpipe {
 namespace {
 
@@ -35,6 +38,52 @@ TEST_F(LoggingTest, EnabledMessageDoesNotCrash) {
   SetLogLevel(LogLevel::kDebug);
   CDPIPE_LOG(Warning) << "a visible warning with a number " << 42;
   SUCCEED();
+}
+
+TEST_F(LoggingTest, PrefixHasTimestampLevelThreadAndLocation) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  CDPIPE_LOG(Warning) << "formatted message " << 7;
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  // "[YYYY-MM-DD HH:MM:SS.mmm WARN t<id> <file>:<line>] formatted message 7"
+  const std::regex prefix(
+      R"(^\[\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} WARN t\d+ )"
+      R"([^ ]*logging_test\.cc:\d+\] formatted message 7\n$)");
+  EXPECT_TRUE(std::regex_search(output, prefix)) << "got: " << output;
+}
+
+TEST_F(LoggingTest, LevelTagMatchesSeverity) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  CDPIPE_LOG(Debug) << "d";
+  CDPIPE_LOG(Info) << "i";
+  CDPIPE_LOG(Error) << "e";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find(" DEBUG t"), std::string::npos);
+  EXPECT_NE(output.find(" INFO t"), std::string::npos);
+  EXPECT_NE(output.find(" ERROR t"), std::string::npos);
+}
+
+TEST(ParseLogLevelTest, AcceptsNamesAndDigits) {
+  const LogLevel fallback = LogLevel::kWarning;
+  EXPECT_EQ(ParseLogLevelOrDefault("debug", fallback), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevelOrDefault("DEBUG", fallback), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevelOrDefault("0", fallback), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevelOrDefault("info", fallback), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevelOrDefault("1", fallback), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevelOrDefault("warn", fallback), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevelOrDefault("Warning", fallback), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevelOrDefault("2", fallback), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevelOrDefault("error", fallback), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevelOrDefault("3", fallback), LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, UnknownValuesFallBack) {
+  EXPECT_EQ(ParseLogLevelOrDefault("", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevelOrDefault("verbose", LogLevel::kInfo),
+            LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevelOrDefault("42", LogLevel::kWarning),
+            LogLevel::kWarning);
 }
 
 TEST(CheckTest, PassingChecksAreSilent) {

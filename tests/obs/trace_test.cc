@@ -1,0 +1,195 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cdpipe {
+namespace obs {
+namespace {
+
+// The tracer is a process-wide singleton; every test starts from a known
+// state and restores it (gtest_discover_tests runs each test in its own
+// process, but the tests must also pass under a plain ./cdpipe_tests run).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().SetRingCapacityForNewThreads(1u << 16);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    CDPIPE_TRACE_SPAN("invisible", "test");
+    ScopedSpan dynamic(std::string("also-invisible"), "test");
+  }
+  EXPECT_EQ(Tracer::Global().NumBufferedEvents(), 0u);
+  EXPECT_EQ(Tracer::Global().ToChromeTraceJson().find("invisible"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledSpanCostStaysNanoseconds) {
+  // Acceptance bar: instrumentation left in per-row hot paths must be a few
+  // ns when tracing is off.  The disabled constructor is one relaxed atomic
+  // load; assert a very generous 200ns average to stay CI-proof.
+  constexpr int kIterations = 1000000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    CDPIPE_TRACE_SPAN("hot", "bench");
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double nanos_per_span =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      kIterations;
+  EXPECT_LT(nanos_per_span, 200.0);
+  EXPECT_EQ(Tracer::Global().NumBufferedEvents(), 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpans) {
+  Tracer::Global().Enable();
+  {
+    CDPIPE_TRACE_SPAN("outer", "test");
+    {
+      CDPIPE_TRACE_SPAN("inner", "test");
+      ScopedSpan dynamic(std::string("dynamic-name"), "test");
+    }
+  }
+  Tracer::Global().Disable();
+  EXPECT_EQ(Tracer::Global().NumBufferedEvents(), 3u);
+
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dynamic-name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EscapesAndTruncatesNames) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan quoted(std::string("with \"quotes\" and \\slash"), "test");
+    ScopedSpan long_name(std::string(200, 'x'), "test");
+  }
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"),
+            std::string::npos);
+  // Names are copied into 64-byte fixed storage: 63 chars + NUL.
+  EXPECT_NE(json.find(std::string(63, 'x')), std::string::npos);
+  EXPECT_EQ(json.find(std::string(64, 'x')), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreads) {
+  Tracer::Global().Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        CDPIPE_TRACE_SPAN("worker", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  Tracer::Global().Disable();
+  EXPECT_EQ(Tracer::Global().NumBufferedEvents(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(Tracer::Global().NumDroppedEvents(), 0u);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
+  Tracer::Global().SetRingCapacityForNewThreads(4);
+  Tracer::Global().Enable();
+  // A fresh std::thread gets a fresh ring with the new capacity.
+  std::thread recorder([] {
+    for (int i = 0; i < 10; ++i) {
+      Tracer::Global().RecordComplete(("event" + std::to_string(i)).c_str(),
+                                      "test", /*start_us=*/i,
+                                      /*duration_us=*/1);
+    }
+  });
+  recorder.join();
+  Tracer::Global().Disable();
+
+  EXPECT_EQ(Tracer::Global().NumBufferedEvents(), 4u);
+  EXPECT_EQ(Tracer::Global().NumDroppedEvents(), 6u);
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  // Only the newest 4 events survive, emitted oldest-first.
+  EXPECT_EQ(json.find("event5"), std::string::npos);
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_NE(json.find("event" + std::to_string(i)), std::string::npos)
+        << "event" << i;
+  }
+  EXPECT_LT(json.find("event6"), json.find("event9"));
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  Tracer::Global().Enable();
+  {
+    CDPIPE_TRACE_SPAN("on-disk", "test");
+  }
+  Tracer::Global().Disable();
+
+  const std::string path =
+      ::testing::TempDir() + "/cdpipe_trace_test_out.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path).ok());
+
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(contents, Tracer::Global().ToChromeTraceJson());
+  EXPECT_NE(contents.find("\"on-disk\""), std::string::npos);
+  EXPECT_NE(contents.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceFailsOnBadPath) {
+  EXPECT_FALSE(
+      Tracer::Global().WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  Tracer::Global().Enable();
+  {
+    CDPIPE_TRACE_SPAN("gone", "test");
+  }
+  Tracer::Global().Disable();
+  ASSERT_GE(Tracer::Global().NumBufferedEvents(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().NumBufferedEvents(), 0u);
+  EXPECT_EQ(Tracer::Global().NumDroppedEvents(), 0u);
+}
+
+TEST_F(TraceTest, NowMicrosIsMonotonic) {
+  const int64_t a = Tracer::NowMicros();
+  const int64_t b = Tracer::NowMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdpipe

@@ -21,6 +21,36 @@ TEST(EwmaTrackerTest, ExponentialBlend) {
   EXPECT_EQ(tracker.count(), 2);
 }
 
+TEST(EwmaTrackerTest, AlphaControlsRecencyWeight) {
+  // A small alpha barely moves toward the new observation; a large alpha
+  // almost replaces the old value.
+  EwmaTracker slow(0.2);
+  slow.Observe(10.0);
+  slow.Observe(20.0);  // 0.2*20 + 0.8*10 = 12
+  EXPECT_DOUBLE_EQ(slow.value(), 12.0);
+
+  EwmaTracker fast(0.9);
+  fast.Observe(10.0);
+  fast.Observe(20.0);  // 0.9*20 + 0.1*10 = 19
+  EXPECT_DOUBLE_EQ(fast.value(), 19.0);
+
+  // Third observation compounds: 0.2*5 + 0.8*12 = 10.6.
+  slow.Observe(5.0);
+  EXPECT_DOUBLE_EQ(slow.value(), 10.6);
+}
+
+TEST(EwmaTrackerTest, CountIncludesInitializingObservation) {
+  EwmaTracker tracker(0.5);
+  EXPECT_EQ(tracker.count(), 0);
+  tracker.Observe(1.0);
+  EXPECT_EQ(tracker.count(), 1);
+  tracker.Observe(1.0);
+  tracker.Observe(1.0);
+  EXPECT_EQ(tracker.count(), 3);
+  // Identical observations leave the blended value fixed.
+  EXPECT_DOUBLE_EQ(tracker.value(), 1.0);
+}
+
 TEST(StaticSchedulerTest, FiresEveryInterval) {
   StaticScheduler scheduler(10.0);
   EXPECT_FALSE(scheduler.ShouldTrain(0.0));  // arms at t=0, due at t=10

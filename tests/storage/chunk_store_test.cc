@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "src/sampling/mu_theory.h"
+
 namespace cdpipe {
 namespace {
 
@@ -161,6 +165,51 @@ TEST(ChunkStoreTest, ByteAccountingFollowsEviction) {
 TEST(ChunkStoreTest, EmptyMuIsZero) {
   ChunkStore store;
   EXPECT_DOUBLE_EQ(store.counters().EmpiricalMu(), 0.0);
+}
+
+// Regression: refreshing the features of an already-materialized chunk must
+// count as a re-materialization, not a second insertion — otherwise the
+// insertion counter inflates and μ-accounting drifts from reality.
+TEST(ChunkStoreTest, RematerializationIsNotAnInsertion) {
+  ChunkStore store;
+  ASSERT_TRUE(store.PutRaw(MakeRaw(0)).ok());
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(0)).ok());
+  EXPECT_EQ(store.counters().features_inserted, 1);
+  EXPECT_EQ(store.counters().features_rematerialized, 0);
+
+  ASSERT_TRUE(store.PutFeatures(MakeFeatures(0)).ok());
+  EXPECT_EQ(store.counters().features_inserted, 1);
+  EXPECT_EQ(store.counters().features_rematerialized, 1);
+  EXPECT_EQ(store.num_materialized(), 1u);
+  EXPECT_EQ(store.counters().evictions, 0);
+}
+
+TEST(ChunkStoreTest, EmpiricalMuMatchesAnalyticalUnderUniformSampling) {
+  // A bounded store keeps the m newest of N chunks materialized; uniform
+  // sampling over all N live chunks must measure μ ≈ m/N (§3: MuUniform).
+  constexpr size_t kTotal = 16;
+  constexpr size_t kMaterialized = 4;
+  ChunkStore::Options options;
+  options.max_materialized_chunks = kMaterialized;
+  ChunkStore store(options);
+  for (ChunkId id = 0; id < static_cast<ChunkId>(kTotal); ++id) {
+    ASSERT_TRUE(store.PutRaw(MakeRaw(id)).ok());
+    ASSERT_TRUE(store.PutFeatures(MakeFeatures(id)).ok());
+  }
+  ASSERT_EQ(store.num_materialized(), kMaterialized);
+
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<ChunkId> pick(
+      0, static_cast<ChunkId>(kTotal) - 1);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) store.RecordSampleAccess(pick(rng));
+
+  // MuUniformAtN is the steady-state formula for a fixed store of N chunks
+  // (MuUniform averages over the growing stream n = 1..N instead).
+  const double analytical = MuUniformAtN(kTotal, kMaterialized);
+  EXPECT_DOUBLE_EQ(analytical,
+                   static_cast<double>(kMaterialized) / kTotal);
+  EXPECT_NEAR(store.counters().EmpiricalMu(), analytical, 0.01);
 }
 
 }  // namespace
