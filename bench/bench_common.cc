@@ -324,6 +324,20 @@ std::string ReportToJson(const std::string& label,
                      report.cost.SecondsIn(phase));
   }
   out += "},";
+  // Examples processed per wall-clock second in each training-path stage
+  // (work units are rows, so this is rows/sec; 0 when a stage never ran).
+  out += "\"stage_examples_per_second\":{";
+  for (size_t i = 0; i < static_cast<size_t>(CostPhase::kNumPhases); ++i) {
+    const CostPhase phase = static_cast<CostPhase>(i);
+    const double seconds = report.cost.SecondsIn(phase);
+    const double rate =
+        seconds > 0.0
+            ? static_cast<double>(report.cost.WorkIn(phase)) / seconds
+            : 0.0;
+    if (i > 0) out += ",";
+    out += StrFormat("\"%s\":%.9g", CostPhaseName(phase), rate);
+  }
+  out += "},";
   // Per-run delta of the global metrics registry (counters/histograms; see
   // src/obs/exporters.h for the schema).
   out += "\"metrics\":" + obs::ToJson(report.metrics);

@@ -151,8 +151,9 @@ void PrintSummaryRow(const std::string& label,
 ///   [continuous] preprocessing=1.23s online_training=0.45s ...
 void PrintStageBreakdown(const DeploymentReport& report);
 
-/// Serializes a report (summary counters, per-phase cost, and the per-run
-/// metrics-registry snapshot from src/obs) as a JSON object.
+/// Serializes a report (summary counters, per-phase cost in seconds and in
+/// examples/sec per training stage, and the per-run metrics-registry
+/// snapshot from src/obs) as a JSON object.
 std::string ReportToJson(const std::string& label,
                          const DeploymentReport& report);
 

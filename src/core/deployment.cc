@@ -67,7 +67,7 @@ Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
   CDPIPE_ASSIGN_OR_RETURN(
       BatchTrainer::Stats stats,
       trainer.Train(parts, pipeline_manager_->mutable_model(),
-                    pipeline_manager_->mutable_optimizer(), &rng_));
+                    pipeline_manager_->mutable_optimizer(), &rng_, &engine_));
   initial_training_epochs_ = stats.epochs_run;
 
   // The bootstrap chunks become historical data available for sampling.

@@ -102,7 +102,7 @@ Status PeriodicalDeployment::Retrain() {
     BatchTrainer trainer(periodical_options_.retrain);
     CDPIPE_ASSIGN_OR_RETURN(
         BatchTrainer::Stats stats,
-        trainer.Train(parts, model.get(), optimizer.get(), &rng()));
+        trainer.Train(parts, model.get(), optimizer.get(), &rng(), &engine()));
     cost().AddWork(CostPhase::kRetraining, stats.examples_visited);
     retrain_epochs_total_ += stats.epochs_run;
   }

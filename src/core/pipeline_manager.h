@@ -58,6 +58,12 @@ class PipelineManager {
   /// (cost recorded under `phase`).
   Status TrainStep(const FeatureData& batch, CostPhase phase);
 
+  /// Zero-copy variant over borrowed rows: no merged FeatureData is ever
+  /// materialized.  When `engine` is non-null the gradient accumulation is
+  /// sharded across its workers (bit-identical to the serial result).
+  Status TrainStep(const BatchView& batch, CostPhase phase,
+                   ExecutionEngine* engine = nullptr);
+
   const Pipeline& pipeline() const { return *pipeline_; }
   Pipeline* mutable_pipeline() { return pipeline_.get(); }
   const LinearModel& model() const { return *model_; }

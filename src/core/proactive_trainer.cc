@@ -56,11 +56,7 @@ FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts) {
         out.features.push_back(x);
       } else {
         // Widen the nominal dimension; indices are untouched.
-        out.features.push_back(
-            std::move(SparseVector::FromSorted(
-                          out.dim, std::vector<uint32_t>(x.indices()),
-                          std::vector<double>(x.values())))
-                .ValueOrDie());
+        out.features.push_back(std::move(x.WithDim(out.dim)).ValueOrDie());
       }
       out.labels.push_back(part->labels[r]);
     }
@@ -108,12 +104,18 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
   }
   for (const FeatureChunk& chunk : rebuilt) parts.push_back(&chunk.data);
 
-  const FeatureData batch = MergeFeatureData(parts);
-  if (batch.num_rows() > 0) {
+  // Zero-copy SGD step: the sampled chunks are trained on in place through
+  // a BatchView — no merged FeatureData, no per-row copies, and mixed
+  // nominal dims widen by picking the max as the view dim.
+  uint32_t dim = 0;
+  CDPIPE_ASSIGN_OR_RETURN(const std::vector<BatchView::RowRef> rows,
+                          BatchView::CollectRows(parts, &dim));
+  const BatchView batch(dim, rows);
+  if (!batch.empty()) {
     CDPIPE_TRACE_SPAN("proactive.sgd_step", "training");
     Stopwatch sgd_watch;
-    CDPIPE_RETURN_NOT_OK(
-        pipeline_manager_->TrainStep(batch, CostPhase::kProactiveTraining));
+    CDPIPE_RETURN_NOT_OK(pipeline_manager_->TrainStep(
+        batch, CostPhase::kProactiveTraining, engine_));
     metrics.sgd_step_seconds->Observe(sgd_watch.ElapsedSeconds());
   }
 

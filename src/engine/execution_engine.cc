@@ -1,7 +1,10 @@
 #include "src/engine/execution_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+
+#include "src/obs/metrics.h"
 
 namespace cdpipe {
 
@@ -33,6 +36,46 @@ Status ExecutionEngine::ParallelFor(
         std::lock_guard<std::mutex> lock(mutex);
         if (i < first_error_index) {
           first_error_index = i;
+          first_error = std::move(st);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+  return first_error;
+}
+
+Status ExecutionEngine::ParallelForRange(
+    size_t count, size_t grain,
+    const std::function<Status(size_t, size_t)>& task) {
+  if (count == 0) return Status::OK();
+  size_t effective_grain = grain;
+  if (effective_grain == 0) {
+    effective_grain = std::max<size_t>(1, count / (num_threads() * 4));
+  }
+  effective_grain = std::min(effective_grain, count);
+  static obs::Gauge* grain_gauge =
+      obs::MetricsRegistry::Global().GetGauge("engine.parallel_range_grain");
+  grain_gauge->Set(static_cast<double>(effective_grain));
+
+  if (pool_ == nullptr) {
+    for (size_t begin = 0; begin < count; begin += effective_grain) {
+      CDPIPE_RETURN_NOT_OK(
+          task(begin, std::min(begin + effective_grain, count)));
+    }
+    return Status::OK();
+  }
+  std::mutex mutex;
+  Status first_error = Status::OK();
+  size_t first_error_begin = SIZE_MAX;
+  for (size_t begin = 0; begin < count; begin += effective_grain) {
+    const size_t end = std::min(begin + effective_grain, count);
+    pool_->Submit([&, begin, end] {
+      Status st = task(begin, end);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (begin < first_error_begin) {
+          first_error_begin = begin;
           first_error = std::move(st);
         }
       }

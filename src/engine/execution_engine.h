@@ -33,6 +33,18 @@ class ExecutionEngine {
   /// side effects across tasks is unspecified when parallel.
   Status ParallelFor(size_t count, const std::function<Status(size_t)>& task);
 
+  /// Blocked-range variant: runs `task(begin, end)` over contiguous blocks
+  /// of at most `grain` indices covering [0, count).  One heap-allocated
+  /// std::function is submitted per *block*, not per element, which
+  /// amortizes the enqueue cost when elements are cheap (per-shard gradient
+  /// accumulation, per-row transforms).  `grain == 0` picks a grain that
+  /// yields ~4 blocks per worker.  Blocks must be independent; any returned
+  /// error aborts with the failure of the lowest `begin`.  Single-threaded
+  /// engines run the blocks inline, in order, stopping at the first error.
+  Status ParallelForRange(
+      size_t count, size_t grain,
+      const std::function<Status(size_t, size_t)>& task);
+
  private:
   std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
 };

@@ -53,6 +53,17 @@ SparseVector SparseVector::FromUnsorted(
   return out;
 }
 
+Result<SparseVector> SparseVector::WithDim(uint32_t new_dim) const {
+  if (!indices_.empty() && indices_.back() >= new_dim) {
+    return Status::OutOfRange("sparse index " + std::to_string(indices_.back()) +
+                              " >= rebranded dim " + std::to_string(new_dim));
+  }
+  SparseVector out(new_dim);
+  out.indices_ = indices_;
+  out.values_ = values_;
+  return out;
+}
+
 void SparseVector::PushBack(uint32_t index, double value) {
   CDPIPE_CHECK_LT(index, dim_);
   CDPIPE_CHECK(indices_.empty() || index > indices_.back())

@@ -43,6 +43,14 @@ class SparseVector {
   const std::vector<uint32_t>& indices() const { return indices_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Copy of this vector with the nominal dimension rebranded to `new_dim`
+  /// after a bounds check (every stored index must be < new_dim; since
+  /// indices are sorted only the last one is inspected).  This is the cheap
+  /// way to widen mixed-dim chunks: one copy of the already-validated
+  /// arrays instead of round-tripping them through FromSorted's per-entry
+  /// re-validation.  Returns OutOfRange when shrinking below a stored index.
+  Result<SparseVector> WithDim(uint32_t new_dim) const;
+
   /// Appends an entry with index greater than all current indices.
   /// CHECK-fails on out-of-order or out-of-range appends (programmer error).
   void PushBack(uint32_t index, double value);

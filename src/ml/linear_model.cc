@@ -1,12 +1,120 @@
 #include "src/ml/linear_model.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "src/common/logging.h"
+#include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/engine/execution_engine.h"
+#include "src/obs/metrics.h"
 
 namespace cdpipe {
+namespace {
+
+/// Rows per gradient shard / maximum shard fan-out.  The shard count is a
+/// function of the row count ONLY (never the worker count): per-shard
+/// partials are merged in ascending shard order, which pins the
+/// floating-point summation order regardless of how many threads execute
+/// the shards — serial and parallel runs produce bit-identical gradients.
+constexpr size_t kMinRowsPerGradShard = 256;
+constexpr size_t kMaxGradShards = 64;
+
+size_t NumGradShards(size_t rows) {
+  return std::clamp(rows / kMinRowsPerGradShard, size_t{1}, kMaxGradShards);
+}
+
+/// Dense-scratch sparse accumulator: O(1) adds into a dense value array
+/// with a touched-index list, replacing the hash-map + final sort of the
+/// previous implementation.  "Touched" tracks every coordinate present in
+/// the batch even when its partial sum is 0.0 (zero-loss rows), because the
+/// lazy L2 term applies to all touched coordinates.
+///
+/// Scratch instances are reused across mini-batches (one per thread, see
+/// Scratch()): Reset clears only the coordinates the previous batch
+/// touched, so steady-state cost is O(touched) per batch instead of an
+/// O(dim) allocation + zero-fill.
+class GradAccumulator {
+ public:
+  GradAccumulator() = default;
+
+  /// Clears previous contents (sparsely) and grows scratch to `dim`.
+  void Reset(uint32_t dim) {
+    for (uint32_t index : touched_) {
+      sums_[index] = 0.0;
+      touched_flag_[index] = 0;
+    }
+    touched_.clear();
+    if (sums_.size() < dim) {
+      sums_.resize(dim, 0.0);
+      touched_flag_.resize(dim, 0);
+    }
+  }
+
+  void Add(uint32_t index, double value) {
+    if (!touched_flag_[index]) {
+      touched_flag_[index] = 1;
+      touched_.push_back(index);
+    }
+    sums_[index] += value;
+  }
+
+  /// Touched (index, partial-sum) entries sorted by index.  When the batch
+  /// touched a large fraction of `dim`, an ordered scan of the flag array
+  /// beats the O(t log t) sort; both emit the identical entry sequence.
+  std::vector<GradEntry> ExtractSorted(uint32_t dim) {
+    std::vector<GradEntry> out;
+    out.reserve(touched_.size());
+    if (touched_.size() >= dim / 8) {
+      for (uint32_t index = 0; index < dim; ++index) {
+        if (touched_flag_[index]) out.push_back(GradEntry{index, sums_[index]});
+      }
+    } else {
+      std::sort(touched_.begin(), touched_.end());
+      for (uint32_t index : touched_) {
+        out.push_back(GradEntry{index, sums_[index]});
+      }
+    }
+    return out;
+  }
+
+  /// Per-thread reusable scratch, reset to `dim` and empty.  Callers must
+  /// finish with one scratch (ExtractSorted) before acquiring it again on
+  /// the same thread.
+  static GradAccumulator& Scratch(uint32_t dim) {
+    thread_local GradAccumulator scratch;
+    scratch.Reset(dim);
+    return scratch;
+  }
+
+ private:
+  std::vector<double> sums_;
+  std::vector<uint8_t> touched_flag_;
+  std::vector<uint32_t> touched_;
+};
+
+struct GradShard {
+  std::vector<GradEntry> entries;  ///< sorted partial sums
+  double bias_sum = 0.0;
+};
+
+struct ModelMetrics {
+  obs::Gauge* grad_shard_count;
+  obs::Histogram* grad_merge_seconds;
+
+  static const ModelMetrics& Get() {
+    static const ModelMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      ModelMetrics m;
+      m.grad_shard_count = registry.GetGauge("model.grad_shard_count");
+      m.grad_merge_seconds =
+          registry.GetHistogram("model.grad_merge_seconds");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 LinearModel::LinearModel(Options options)
     : options_(options), weights_(options.initial_dim) {}
@@ -35,40 +143,93 @@ Status LinearModel::ComputeGradient(const FeatureData& batch,
   *bias_grad = 0.0;
   if (batch.num_rows() == 0) return Status::OK();
   CDPIPE_RETURN_NOT_OK(batch.Validate());
-  if (batch.dim > weights_.dim()) {
+  std::vector<BatchView::RowRef> rows;
+  rows.reserve(batch.num_rows());
+  for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+    rows.push_back(BatchView::RowRef{&batch, r});
+  }
+  return ComputeGradient(BatchView(batch.dim, rows), grad, bias_grad);
+}
+
+Status LinearModel::ComputeGradient(const BatchView& batch,
+                                    std::vector<GradEntry>* grad,
+                                    double* bias_grad,
+                                    ExecutionEngine* engine) const {
+  grad->clear();
+  *bias_grad = 0.0;
+  const size_t rows = batch.num_rows();
+  if (rows == 0) return Status::OK();
+  if (batch.dim() > weights_.dim()) {
     return Status::FailedPrecondition(
-        "batch dim " + std::to_string(batch.dim) + " exceeds model dim " +
+        "batch dim " + std::to_string(batch.dim()) + " exceeds model dim " +
         std::to_string(weights_.dim()) + "; call EnsureDim first");
   }
 
-  const double inv_n = 1.0 / static_cast<double>(batch.num_rows());
-  std::unordered_map<uint32_t, double> accum;
-  accum.reserve(batch.num_rows() * 4);
-  double bias_accum = 0.0;
-  for (size_t r = 0; r < batch.num_rows(); ++r) {
-    const SparseVector& x = batch.features[r];
-    const LossGrad lg = EvalLoss(options_.loss, Predict(x), batch.labels[r]);
-    const auto& idx = x.indices();
-    const auto& val = x.values();
-    for (size_t k = 0; k < idx.size(); ++k) {
-      // Zero-loss examples still *touch* their coordinates so the lazy L2
-      // term below applies to every coordinate present in the mini-batch.
-      accum[idx[k]] += lg.dloss_dpred * val[k];
+  const size_t num_shards = NumGradShards(rows);
+  const size_t shard_rows = (rows + num_shards - 1) / num_shards;
+  std::vector<GradShard> shards(num_shards);
+  auto run_shard = [&](size_t s) {
+    const size_t begin = s * shard_rows;
+    const size_t end = std::min(begin + shard_rows, rows);
+    GradAccumulator& accum = GradAccumulator::Scratch(batch.dim());
+    double bias_sum = 0.0;
+    for (size_t r = begin; r < end; ++r) {
+      const SparseVector& x = batch.feature(r);
+      const LossGrad lg = EvalLoss(options_.loss, Predict(x), batch.label(r));
+      const auto& idx = x.indices();
+      const auto& val = x.values();
+      for (size_t k = 0; k < idx.size(); ++k) {
+        // Zero-loss examples still *touch* their coordinates so the lazy L2
+        // term below applies to every coordinate present in the mini-batch.
+        accum.Add(idx[k], lg.dloss_dpred * val[k]);
+      }
+      bias_sum += lg.dloss_dpred;
     }
-    bias_accum += lg.dloss_dpred;
+    shards[s].entries = accum.ExtractSorted(batch.dim());
+    shards[s].bias_sum = bias_sum;
+  };
+  if (engine != nullptr && engine->num_threads() > 1 && num_shards > 1) {
+    CDPIPE_RETURN_NOT_OK(engine->ParallelForRange(
+        num_shards, /*grain=*/0, [&](size_t begin, size_t end) -> Status {
+          for (size_t s = begin; s < end; ++s) run_shard(s);
+          return Status::OK();
+        }));
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) run_shard(s);
   }
+  const ModelMetrics& metrics = ModelMetrics::Get();
+  metrics.grad_shard_count->Set(static_cast<double>(num_shards));
 
-  grad->reserve(accum.size());
-  for (const auto& [index, g] : accum) {
-    double value = g * inv_n;
-    if (options_.l2_reg > 0.0) value += options_.l2_reg * weights_[index];
-    if (value != 0.0) grad->push_back(GradEntry{index, value});
+  // Deterministic merge: per-coordinate partials are summed in ascending
+  // shard order, so the result does not depend on execution interleaving.
+  // A single shard needs no merge pass (re-adding into zeroed scratch is
+  // the identity), so its entries are taken as-is — same values bit for
+  // bit.
+  Stopwatch merge_watch;
+  std::vector<GradEntry> merged_entries;
+  double bias_accum = 0.0;
+  if (num_shards == 1) {
+    merged_entries = std::move(shards[0].entries);
+    bias_accum = shards[0].bias_sum;
+  } else {
+    GradAccumulator& merged = GradAccumulator::Scratch(batch.dim());
+    for (const GradShard& shard : shards) {
+      for (const GradEntry& entry : shard.entries) {
+        merged.Add(entry.index, entry.value);
+      }
+      bias_accum += shard.bias_sum;
+    }
+    merged_entries = merged.ExtractSorted(batch.dim());
   }
-  std::sort(grad->begin(), grad->end(),
-            [](const GradEntry& a, const GradEntry& b) {
-              return a.index < b.index;
-            });
+  const double inv_n = 1.0 / static_cast<double>(rows);
+  grad->reserve(merged_entries.size());
+  for (const GradEntry& entry : merged_entries) {
+    double value = entry.value * inv_n;
+    if (options_.l2_reg > 0.0) value += options_.l2_reg * weights_[entry.index];
+    if (value != 0.0) grad->push_back(GradEntry{entry.index, value});
+  }
   *bias_grad = options_.fit_bias ? bias_accum * inv_n : 0.0;
+  metrics.grad_merge_seconds->Observe(merge_watch.ElapsedSeconds());
   return Status::OK();
 }
 
@@ -82,17 +243,29 @@ void LinearModel::ApplyGradient(const std::vector<GradEntry>& grad,
 
 Status LinearModel::Update(const FeatureData& batch, Optimizer* optimizer) {
   if (batch.num_rows() == 0) return Status::OK();
+  CDPIPE_RETURN_NOT_OK(batch.Validate());
+  std::vector<BatchView::RowRef> rows;
+  rows.reserve(batch.num_rows());
+  for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+    rows.push_back(BatchView::RowRef{&batch, r});
+  }
+  return Update(BatchView(batch.dim, rows), optimizer);
+}
+
+Status LinearModel::Update(const BatchView& batch, Optimizer* optimizer,
+                           ExecutionEngine* engine) {
+  if (batch.empty()) return Status::OK();
   if (options_.fit_bias && options_.init_bias_to_label_mean &&
       !bias_initialized_) {
     double sum = 0.0;
-    for (double label : batch.labels) sum += label;
+    for (size_t r = 0; r < batch.num_rows(); ++r) sum += batch.label(r);
     bias_ = sum / static_cast<double>(batch.num_rows());
     bias_initialized_ = true;
   }
-  EnsureDim(batch.dim);
+  EnsureDim(batch.dim());
   std::vector<GradEntry> grad;
   double bias_grad = 0.0;
-  CDPIPE_RETURN_NOT_OK(ComputeGradient(batch, &grad, &bias_grad));
+  CDPIPE_RETURN_NOT_OK(ComputeGradient(batch, &grad, &bias_grad, engine));
   ApplyGradient(grad, bias_grad, optimizer);
   return Status::OK();
 }

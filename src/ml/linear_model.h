@@ -9,10 +9,13 @@
 #include "src/io/serialization.h"
 #include "src/linalg/dense_vector.h"
 #include "src/linalg/sparse_vector.h"
+#include "src/ml/batch_view.h"
 #include "src/ml/loss.h"
 #include "src/ml/optimizer.h"
 
 namespace cdpipe {
+
+class ExecutionEngine;
 
 /// A generalized linear model trained with mini-batch SGD: linear SVM
 /// (hinge loss), logistic regression, or least-squares linear regression,
@@ -60,14 +63,31 @@ class LinearModel {
 
   /// One mini-batch SGD iteration: computes the averaged, L2-regularized
   /// gradient over `batch` and applies it through `optimizer`.  Empty
-  /// batches are a no-op.
+  /// batches are a no-op.  Delegates to the BatchView overload (one row
+  /// reference per example, no data copies, same numerics).
   Status Update(const FeatureData& batch, Optimizer* optimizer);
+
+  /// Zero-copy mini-batch SGD iteration over borrowed rows.  When `engine`
+  /// is non-null and multi-threaded, the gradient accumulation is sharded
+  /// across its workers; the result is bit-identical to the serial path
+  /// (see ComputeGradient).
+  Status Update(const BatchView& batch, Optimizer* optimizer,
+                ExecutionEngine* engine = nullptr);
 
   /// Computes the averaged regularized gradient over `batch` without
   /// applying it (used by tests and by distributed-style partial-gradient
   /// aggregation).  Output entries are sorted by index.
   Status ComputeGradient(const FeatureData& batch, std::vector<GradEntry>* grad,
                          double* bias_grad) const;
+
+  /// Sharded zero-copy gradient.  Rows are partitioned into shards whose
+  /// count depends only on the row count — never on `engine` or its thread
+  /// count — and per-shard partial sums are merged in fixed shard order, so
+  /// the floating-point result is deterministic and identical whether the
+  /// shards run serially (engine == nullptr) or on any number of workers.
+  Status ComputeGradient(const BatchView& batch, std::vector<GradEntry>* grad,
+                         double* bias_grad,
+                         ExecutionEngine* engine = nullptr) const;
 
   /// Applies an externally computed gradient through `optimizer`.
   void ApplyGradient(const std::vector<GradEntry>& grad, double bias_grad,

@@ -9,25 +9,21 @@ namespace cdpipe {
 
 Result<BatchTrainer::Stats> BatchTrainer::Train(
     const std::vector<const FeatureData*>& chunks, LinearModel* model,
-    Optimizer* optimizer, Rng* rng) const {
+    Optimizer* optimizer, Rng* rng, ExecutionEngine* engine) const {
   CDPIPE_CHECK(model != nullptr);
   CDPIPE_CHECK(optimizer != nullptr);
   CDPIPE_CHECK(rng != nullptr);
 
-  // Build a flat index of (chunk, row) pairs once; epochs shuffle it.
+  // Build a flat index of row references once (validating each chunk once);
+  // epochs shuffle it and mini-batches are zero-copy subranges of it.
   uint32_t max_dim = 0;
-  std::vector<std::pair<uint32_t, uint32_t>> index;
-  for (uint32_t c = 0; c < chunks.size(); ++c) {
-    const FeatureData* chunk = chunks[c];
-    if (chunk == nullptr) {
-      return Status::InvalidArgument("null chunk passed to BatchTrainer");
-    }
-    CDPIPE_RETURN_NOT_OK(chunk->Validate());
-    max_dim = std::max(max_dim, chunk->dim);
-    for (uint32_t r = 0; r < chunk->num_rows(); ++r) {
-      index.emplace_back(c, r);
-    }
+  Result<std::vector<BatchView::RowRef>> collected =
+      BatchView::CollectRows(chunks, &max_dim);
+  if (!collected.ok()) {
+    return Status::InvalidArgument("BatchTrainer: " +
+                                   collected.status().message());
   }
+  std::vector<BatchView::RowRef> index = std::move(collected).value();
   Stats stats;
   if (index.empty()) return stats;
   model->EnsureDim(max_dim);
@@ -42,25 +38,30 @@ Result<BatchTrainer::Stats> BatchTrainer::Train(
     if (options_.shuffle) rng->Shuffle(&index);
     for (size_t start = 0; start < index.size(); start += batch_size) {
       const size_t end = std::min(start + batch_size, index.size());
-      FeatureData batch;
-      batch.dim = max_dim;
-      batch.features.reserve(end - start);
-      batch.labels.reserve(end - start);
-      for (size_t i = start; i < end; ++i) {
-        const auto [c, r] = index[i];
-        SparseVector x = chunks[c]->features[r];
-        // Normalize nominal dims so Validate() passes on mixed-dim inputs.
-        if (x.dim() != max_dim) {
-          auto widened = SparseVector::FromSorted(
-              max_dim, std::vector<uint32_t>(x.indices()),
-              std::vector<double>(x.values()));
-          if (!widened.ok()) return widened.status();
-          x = std::move(widened).value();
+      if (options_.use_legacy_copy_path) {
+        // Baseline: materialize the mini-batch (copying every row and
+        // widening mixed nominal dims).  Same gradient kernel as the view
+        // path, so the trained parameters are bit-identical.
+        FeatureData batch;
+        batch.dim = max_dim;
+        batch.features.reserve(end - start);
+        batch.labels.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+          const BatchView::RowRef& ref = index[i];
+          const SparseVector& x = ref.chunk->features[ref.row];
+          if (x.dim() != max_dim) {
+            CDPIPE_ASSIGN_OR_RETURN(SparseVector widened, x.WithDim(max_dim));
+            batch.features.push_back(std::move(widened));
+          } else {
+            batch.features.push_back(x);
+          }
+          batch.labels.push_back(ref.chunk->labels[ref.row]);
         }
-        batch.features.push_back(std::move(x));
-        batch.labels.push_back(chunks[c]->labels[r]);
+        CDPIPE_RETURN_NOT_OK(model->Update(batch, optimizer));
+      } else {
+        const BatchView batch(max_dim, index.data() + start, end - start);
+        CDPIPE_RETURN_NOT_OK(model->Update(batch, optimizer, engine));
       }
-      CDPIPE_RETURN_NOT_OK(model->Update(batch, optimizer));
       ++stats.sgd_iterations;
       stats.examples_visited += static_cast<int64_t>(end - start);
     }
@@ -81,18 +82,22 @@ Result<BatchTrainer::Stats> BatchTrainer::Train(
     }
   }
 
-  // Final loss over everything (diagnostic only).
-  double total = 0.0;
-  int64_t n = 0;
-  for (const FeatureData* chunk : chunks) {
-    for (size_t r = 0; r < chunk->num_rows(); ++r) {
-      total += EvalLoss(model->options().loss,
-                        model->Predict(chunk->features[r]), chunk->labels[r])
-                   .loss;
-      ++n;
+  if (options_.compute_final_loss) {
+    // Full-dataset loss scan (diagnostic only, opt-in: one extra pass over
+    // every row of every chunk).
+    double total = 0.0;
+    int64_t n = 0;
+    for (const FeatureData* chunk : chunks) {
+      for (size_t r = 0; r < chunk->num_rows(); ++r) {
+        total += EvalLoss(model->options().loss,
+                          model->Predict(chunk->features[r]),
+                          chunk->labels[r])
+                     .loss;
+        ++n;
+      }
     }
+    stats.final_loss = n > 0 ? total / static_cast<double>(n) : 0.0;
   }
-  stats.final_loss = n > 0 ? total / static_cast<double>(n) : 0.0;
   return stats;
 }
 

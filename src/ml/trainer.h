@@ -7,6 +7,8 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/dataframe/chunk.h"
+#include "src/engine/execution_engine.h"
+#include "src/ml/batch_view.h"
 #include "src/ml/linear_model.h"
 #include "src/ml/optimizer.h"
 
@@ -17,6 +19,10 @@ namespace cdpipe {
 /// retraining.  Iterates epochs of shuffled mini-batches until the relative
 /// change of the weight vector falls below `tolerance` or `max_epochs` is
 /// reached.
+///
+/// Mini-batches are zero-copy BatchViews into the input chunks: the shuffled
+/// epoch index holds (chunk, row) references and each batch is a subrange of
+/// it, so no sparse row is ever copied or dim-widened on the training path.
 class BatchTrainer {
  public:
   struct Options {
@@ -28,6 +34,15 @@ class BatchTrainer {
     /// an epoch.
     double tolerance = 1e-4;
     bool shuffle = true;
+    /// Re-scan the full dataset after training to fill Stats::final_loss.
+    /// Purely diagnostic and costs one extra pass over every row of every
+    /// chunk, so it is opt-in (off by default).
+    bool compute_final_loss = false;
+    /// Materialize each mini-batch as a copied FeatureData instead of a
+    /// BatchView.  Kept only as the baseline for the equivalence tests and
+    /// bench_sgd_throughput; produces bit-identical results to the view
+    /// path (both feed the same gradient kernel).
+    bool use_legacy_copy_path = false;
   };
 
   struct Stats {
@@ -35,16 +50,19 @@ class BatchTrainer {
     int64_t sgd_iterations = 0;
     int64_t examples_visited = 0;
     bool converged = false;
+    /// Mean loss over all rows; 0.0 unless Options::compute_final_loss.
     double final_loss = 0.0;
   };
 
   explicit BatchTrainer(Options options) : options_(options) {}
 
   /// Trains `model` in place over the concatenation of `chunks` using
-  /// `optimizer`.  Deterministic given `rng`.
+  /// `optimizer`.  Deterministic given `rng` — the result is independent of
+  /// `engine` (sharded gradients merge in fixed order), which only speeds
+  /// up gradient accumulation when multi-threaded.
   Result<Stats> Train(const std::vector<const FeatureData*>& chunks,
-                      LinearModel* model, Optimizer* optimizer,
-                      Rng* rng) const;
+                      LinearModel* model, Optimizer* optimizer, Rng* rng,
+                      ExecutionEngine* engine = nullptr) const;
 
  private:
   Options options_;

@@ -108,6 +108,36 @@ TEST(SparseVectorTest, EqualityOperator) {
   EXPECT_FALSE(a == d);
 }
 
+TEST(SparseVectorTest, WithDimWidensWithoutTouchingEntries) {
+  SparseVector v = SparseVector::FromUnsorted(8, {{1, 2.0}, {6, -1.0}});
+  auto wide = v.WithDim(32);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->dim(), 32u);
+  EXPECT_EQ(wide->nnz(), 2u);
+  EXPECT_DOUBLE_EQ(wide->Get(1), 2.0);
+  EXPECT_DOUBLE_EQ(wide->Get(6), -1.0);
+  EXPECT_EQ(v.dim(), 8u);  // original untouched
+}
+
+TEST(SparseVectorTest, WithDimRejectsShrinkBelowMaxIndex) {
+  SparseVector v = SparseVector::FromUnsorted(8, {{1, 2.0}, {6, -1.0}});
+  auto narrow = v.WithDim(6);
+  ASSERT_FALSE(narrow.ok());
+  EXPECT_EQ(narrow.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(v.WithDim(7).ok());  // max index 6 < 7 is fine
+}
+
+TEST(SparseVectorTest, WithDimOnEmptyAllowsAnyDim) {
+  SparseVector v(16);
+  auto zero = v.WithDim(0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->dim(), 0u);
+  auto wide = v.WithDim(1000);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->dim(), 1000u);
+  EXPECT_EQ(wide->nnz(), 0u);
+}
+
 TEST(SparseVectorTest, ByteSizeCountsBothArrays) {
   SparseVector v = SparseVector::FromUnsorted(100, {{1, 1.0}, {2, 2.0}});
   EXPECT_EQ(v.ByteSize(), 2 * (sizeof(uint32_t) + sizeof(double)));
