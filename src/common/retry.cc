@@ -1,0 +1,61 @@
+#include "src/common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace cdpipe {
+namespace {
+
+struct RetryMetrics {
+  obs::Counter* attempts;
+  obs::Counter* exhausted;
+
+  static const RetryMetrics& Get() {
+    static const RetryMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      RetryMetrics m;
+      m.attempts = registry.GetCounter("retry.attempts");
+      m.exhausted = registry.GetCounter("retry.exhausted");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIoError;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const char* op_name,
+                        const std::function<Status()>& op) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  double backoff = policy.initial_backoff_seconds;
+  Status status;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    status = op();
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt == max_attempts) break;
+    CDPIPE_LOG(Warning) << op_name << " attempt " << attempt << "/"
+                        << max_attempts << " failed transiently ("
+                        << status.ToString() << "), retrying";
+    RetryMetrics::Get().attempts->Increment();
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(backoff, policy.max_backoff_seconds)));
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+  RetryMetrics::Get().exhausted->Increment();
+  CDPIPE_LOG(Error) << op_name << " failed after " << max_attempts
+                    << " attempts: " << status.ToString();
+  return status;
+}
+
+}  // namespace cdpipe

@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kInternal,
+  /// Transient failure (flaky executor, temporary resource pressure):
+  /// retrying the same operation may succeed.  The retry layer
+  /// (src/common/retry.h) treats this code and kIoError as retryable.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -31,7 +35,7 @@ const char* StatusCodeName(StatusCode code);
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message describing what went wrong and (by convention) which argument or
 /// state caused it.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -68,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,7 +96,7 @@ inline bool operator==(const Status& a, const Status& b) {
 /// accessors.  `ValueOrDie()` aborts on error and is intended for tests and
 /// examples; production call-sites should check `ok()` first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success path reads naturally:
   /// `return some_value;`).

@@ -15,7 +15,9 @@ ContinuousDeployment::ContinuousDeployment(
     : Deployment("continuous", std::move(options), std::move(pipeline),
                  std::move(model), std::move(optimizer), std::move(metric)),
       continuous_options_(std::move(continuous_options)),
-      trainer_(&pipeline_manager(), &engine()) {
+      trainer_(&pipeline_manager(), &engine(),
+               ProactiveTrainer::Options{this->options().retry,
+                                         this->options().degrade_on_failure}) {
   CDPIPE_CHECK_GT(continuous_options_.proactive_every_chunks, 0u);
   CDPIPE_CHECK_GT(continuous_options_.sample_chunks, 0u);
 }

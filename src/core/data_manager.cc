@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/testing/fault_injector.h"
 
 namespace cdpipe {
 
@@ -28,8 +29,13 @@ Status DataManager::IngestChunk(RawChunk chunk) {
         "chunk id " + std::to_string(chunk.id) +
         " is not beyond the last assigned id " + std::to_string(next_id_ - 1));
   }
-  next_id_ = chunk.id + 1;
-  return store_.PutRaw(std::move(chunk));
+  // Advance next_id_ only after the store accepted the chunk: a failed
+  // (e.g. transiently faulted) PutRaw must leave the manager unchanged so
+  // the same chunk can be retried.
+  const ChunkId id = chunk.id;
+  CDPIPE_RETURN_NOT_OK(store_.PutRaw(std::move(chunk)));
+  next_id_ = id + 1;
+  return Status::OK();
 }
 
 Status DataManager::StoreFeatures(FeatureChunk chunk) {
@@ -47,6 +53,13 @@ Result<DataManager::SampleSet> DataManager::SampleForTraining(
   SampleSet out;
   out.materialized.reserve(picked.size());
   for (ChunkId id : picked) {
+    // Evict-heavy fault scenario: memory pressure evicts the sampled
+    // chunk's features right before the access, forcing the
+    // re-materialization path.  The μ accounting below then records an
+    // honest miss.
+    if (CDPIPE_FAULT_TRIGGERED("chunk_store.forced_eviction")) {
+      store_.Evict(id);
+    }
     store_.RecordSampleAccess(id);
     if (const FeatureChunk* features = store_.GetFeatures(id)) {
       out.materialized.push_back(features);

@@ -12,6 +12,9 @@ namespace {
 
 struct DeploymentMetrics {
   obs::Counter* chunks_processed;
+  obs::Counter* degraded;
+  obs::Counter* store_features_failed;
+  obs::Counter* ingest_failed;
   obs::Histogram* chunk_seconds;
 
   static const DeploymentMetrics& Get() {
@@ -19,6 +22,10 @@ struct DeploymentMetrics {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       DeploymentMetrics m;
       m.chunks_processed = registry.GetCounter("deployment.chunks_processed");
+      m.degraded = registry.GetCounter("deployment.degraded");
+      m.store_features_failed =
+          registry.GetCounter("deployment.store_features_failed");
+      m.ingest_failed = registry.GetCounter("deployment.ingest_failed");
       m.chunk_seconds = registry.GetHistogram("deployment.chunk_seconds");
       return m;
     }();
@@ -44,6 +51,7 @@ Deployment::Deployment(std::string strategy_name, Options options,
       metric_prototype_(std::move(metric)),
       rng_(options_.seed) {
   CDPIPE_CHECK(metric_prototype_ != nullptr);
+  engine_.set_retry_policy(options_.retry);
 }
 
 Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
@@ -99,10 +107,31 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
     CDPIPE_TRACE_SPAN("deployment.chunk", "deployment");
     Stopwatch chunk_watch;
     const RawChunk& chunk = stream[i];
-    CDPIPE_RETURN_NOT_OK(data_manager_.IngestChunk(chunk));
-    // The store owns the canonical copy; process that one.
-    const RawChunk* stored = data_manager_.store().GetRaw(chunk.id);
-    CDPIPE_CHECK(stored != nullptr);
+    // Ingest with retry; when a transient storage failure survives its
+    // retries, degrade: process the stream's copy of the chunk online so
+    // the quality curve stays continuous — the chunk is simply never
+    // available for proactive sampling.  Logic errors (duplicate ids)
+    // still abort.
+    const Status ingest_status =
+        RetryWithBackoff(options_.retry, "deployment.ingest",
+                         [&]() -> Status {
+                           return data_manager_.IngestChunk(chunk);
+                         });
+    const RawChunk* stored = nullptr;
+    if (ingest_status.ok()) {
+      // The store owns the canonical copy; process that one.
+      stored = data_manager_.store().GetRaw(chunk.id);
+      CDPIPE_CHECK(stored != nullptr);
+    } else if (options_.degrade_on_failure && IsRetryable(ingest_status)) {
+      DeploymentMetrics::Get().ingest_failed->Increment();
+      DeploymentMetrics::Get().degraded->Increment();
+      CDPIPE_LOG(Warning) << "deployment: processing chunk " << chunk.id
+                          << " without storage after failed ingest: "
+                          << ingest_status.ToString();
+      stored = &chunk;
+    } else {
+      return ingest_status;
+    }
 
     const int64_t count_before = evaluator.Count();
     const double mass_before = evaluator.AggregateMass();
@@ -112,7 +141,23 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
         FeatureChunk features,
         pipeline_manager_->OnlineStep(*stored, &evaluator,
                                       options_.online_learning));
-    CDPIPE_RETURN_NOT_OK(data_manager_.StoreFeatures(std::move(features)));
+    if (ingest_status.ok()) {
+      // A transiently failed materialization degrades cleanly: the chunk
+      // stays unmaterialized and dynamic materialization rebuilds it on
+      // demand the first time proactive training samples it.
+      const Status store_status =
+          data_manager_.StoreFeatures(std::move(features));
+      if (!store_status.ok()) {
+        if (!options_.degrade_on_failure || !IsRetryable(store_status)) {
+          return store_status;
+        }
+        DeploymentMetrics::Get().store_features_failed->Increment();
+        DeploymentMetrics::Get().degraded->Increment();
+        CDPIPE_LOG(Warning) << "deployment: chunk " << chunk.id
+                            << " left unmaterialized: "
+                            << store_status.ToString();
+      }
+    }
 
     ChunkOutcome outcome;
     outcome.rows = evaluator.Count() - count_before;
@@ -155,6 +200,16 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   report.initial_training_epochs = initial_training_epochs_;
   report.metrics = obs::MetricsSnapshot::Delta(
       metrics_before, obs::MetricsRegistry::Global().Snapshot());
+  report.faults_injected = report.metrics.CounterValueOr("fault.injected", 0);
+  report.retry_attempts = report.metrics.CounterValueOr("retry.attempts", 0);
+  report.retries_exhausted =
+      report.metrics.CounterValueOr("retry.exhausted", 0);
+  report.degraded_events =
+      report.metrics.CounterValueOr("deployment.degraded", 0) +
+      report.metrics.CounterValueOr("proactive.chunks_skipped", 0) +
+      report.metrics.CounterValueOr("proactive.iterations_degraded", 0);
+  report.proactive_chunks_skipped =
+      report.metrics.CounterValueOr("proactive.chunks_skipped", 0);
   FillReport(&report);
   return report;
 }

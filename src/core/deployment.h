@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/core/cost_model.h"
@@ -48,6 +49,17 @@ class Deployment {
     uint64_t seed = 42;
     /// Worker threads for re-materialization fan-out (1 = deterministic).
     size_t engine_threads = 1;
+    /// Retry policy for transient failures (flaky engine tasks, storage
+    /// hiccups, failed re-materializations).  Applied by the execution
+    /// engine to parallel tasks and by the deployment loop to ingest.
+    RetryPolicy retry;
+    /// Graceful degradation: keep the run alive when a transient failure
+    /// survives its retries — an unstorable feature chunk stays
+    /// unmaterialized, an unrecoverable sampled chunk is skipped — with a
+    /// recorded warning and a `deployment.degraded` metric.  Logic errors
+    /// (duplicate ids, schema mismatches) still abort.  Disabled, every
+    /// failure propagates, matching the pre-robustness behavior.
+    bool degrade_on_failure = true;
   };
 
   Deployment(std::string strategy_name, Options options,

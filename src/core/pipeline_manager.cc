@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/obs/trace.h"
+#include "src/testing/fault_injector.h"
 
 namespace cdpipe {
 
@@ -74,6 +75,7 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
 Result<FeatureChunk> PipelineManager::Rematerialize(
     const RawChunk& chunk) const {
   CDPIPE_TRACE_SPAN("chunk_store.rematerialize", "storage");
+  CDPIPE_FAULT_POINT("pipeline.rematerialize");
   CostModel::ScopedTimer timer(cost_, CostPhase::kMaterialization);
   size_t rows_scanned = 0;
   Result<FeatureData> features =
@@ -123,6 +125,17 @@ void PipelineManager::Redeploy(std::unique_ptr<LinearModel> model,
                                std::unique_ptr<Optimizer> optimizer) {
   CDPIPE_CHECK(model != nullptr);
   CDPIPE_CHECK(optimizer != nullptr);
+  model_ = std::move(model);
+  optimizer_ = std::move(optimizer);
+}
+
+void PipelineManager::Restore(std::unique_ptr<Pipeline> pipeline,
+                              std::unique_ptr<LinearModel> model,
+                              std::unique_ptr<Optimizer> optimizer) {
+  CDPIPE_CHECK(pipeline != nullptr);
+  CDPIPE_CHECK(model != nullptr);
+  CDPIPE_CHECK(optimizer != nullptr);
+  pipeline_ = std::move(pipeline);
   model_ = std::move(model);
   optimizer_ = std::move(optimizer);
 }

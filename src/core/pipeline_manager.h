@@ -77,6 +77,14 @@ class PipelineManager {
   void Redeploy(std::unique_ptr<LinearModel> model,
                 std::unique_ptr<Optimizer> optimizer);
 
+  /// Atomically replaces the full deployed state — pipeline, model, and
+  /// optimizer — in one step (checkpoint restore: the loader deserializes
+  /// into scratch copies and commits them here only after every read
+  /// succeeded, so a corrupt checkpoint can never leave partial state).
+  void Restore(std::unique_ptr<Pipeline> pipeline,
+               std::unique_ptr<LinearModel> model,
+               std::unique_ptr<Optimizer> optimizer);
+
  private:
   std::unique_ptr<Pipeline> pipeline_;
   std::unique_ptr<LinearModel> model_;

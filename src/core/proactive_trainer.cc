@@ -13,6 +13,8 @@ namespace {
 struct TrainerMetrics {
   obs::Counter* iterations;
   obs::Counter* chunks_rematerialized;
+  obs::Counter* chunks_skipped;
+  obs::Counter* iterations_degraded;
   obs::Counter* rows_trained;
   obs::Histogram* iteration_seconds;
   obs::Histogram* rematerialize_seconds;
@@ -25,6 +27,9 @@ struct TrainerMetrics {
       m.iterations = registry.GetCounter("proactive.iterations");
       m.chunks_rematerialized =
           registry.GetCounter("proactive.chunks_rematerialized");
+      m.chunks_skipped = registry.GetCounter("proactive.chunks_skipped");
+      m.iterations_degraded =
+          registry.GetCounter("proactive.iterations_degraded");
       m.rows_trained = registry.GetCounter("proactive.rows_trained");
       m.iteration_seconds =
           registry.GetHistogram("proactive.iteration_seconds");
@@ -66,7 +71,13 @@ FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts) {
 
 ProactiveTrainer::ProactiveTrainer(PipelineManager* pipeline_manager,
                                    ExecutionEngine* engine)
-    : pipeline_manager_(pipeline_manager), engine_(engine) {
+    : ProactiveTrainer(pipeline_manager, engine, Options{}) {}
+
+ProactiveTrainer::ProactiveTrainer(PipelineManager* pipeline_manager,
+                                   ExecutionEngine* engine, Options options)
+    : pipeline_manager_(pipeline_manager),
+      engine_(engine),
+      options_(options) {
   CDPIPE_CHECK(pipeline_manager_ != nullptr);
   CDPIPE_CHECK(engine_ != nullptr);
 }
@@ -77,32 +88,71 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
   Stopwatch watch;
 
   // Dynamic materialization: rebuild the evicted chunks in the sample.
-  std::vector<FeatureChunk> rebuilt(sample.to_rematerialize.size());
+  // Each chunk writes only its own slot, so failed chunks are identified
+  // after the fan-out and handled individually instead of aborting the
+  // whole iteration on the first error.
+  const size_t num_remat = sample.to_rematerialize.size();
+  std::vector<FeatureChunk> rebuilt(num_remat);
+  std::vector<char> rebuilt_ok(num_remat, 0);
   {
     CDPIPE_TRACE_SPAN("proactive.rematerialize", "training");
     Stopwatch remat_watch;
-    CDPIPE_RETURN_NOT_OK(engine_->ParallelFor(
-        sample.to_rematerialize.size(), [&](size_t i) -> Status {
+    const Status engine_status =
+        engine_->ParallelFor(num_remat, [&](size_t i) -> Status {
           CDPIPE_ASSIGN_OR_RETURN(
               rebuilt[i],
               pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]));
+          rebuilt_ok[i] = 1;
           return Status::OK();
-        }));
-    if (!sample.to_rematerialize.empty()) {
+        });
+    if (!engine_status.ok() && !options_.degrade_on_failure) {
+      return engine_status;
+    }
+    // Degradation, step 1: chunks that failed in the fan-out (including
+    // tasks the engine's retry policy gave up on) get one serial fallback
+    // recomputation from the raw chunk on the caller's thread.  Step 2:
+    // chunks that still fail are dropped from this iteration with a
+    // recorded warning — a smaller sample is strictly better than an
+    // aborted deployment run.
+    for (size_t i = 0; i < num_remat; ++i) {
+      if (rebuilt_ok[i]) continue;
+      const Status fallback = RetryWithBackoff(
+          options_.retry, "proactive.rematerialize_fallback",
+          [&]() -> Status {
+            Result<FeatureChunk> chunk =
+                pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]);
+            if (!chunk.ok()) return chunk.status();
+            rebuilt[i] = std::move(chunk).value();
+            rebuilt_ok[i] = 1;
+            return Status::OK();
+          });
+      if (!fallback.ok()) {
+        if (!options_.degrade_on_failure) return fallback;
+        ++stats_.chunks_skipped;
+        metrics.chunks_skipped->Increment();
+        CDPIPE_LOG(Warning)
+            << "proactive training: dropping chunk "
+            << sample.to_rematerialize[i]->id
+            << " after failed re-materialization: " << fallback.ToString();
+      }
+    }
+    if (num_remat > 0) {
       metrics.rematerialize_seconds->Observe(remat_watch.ElapsedSeconds());
     }
   }
-  stats_.chunks_rematerialized +=
-      static_cast<int64_t>(sample.to_rematerialize.size());
-  metrics.chunks_rematerialized->Add(
-      static_cast<int64_t>(sample.to_rematerialize.size()));
+  int64_t rematerialized = 0;
+  for (size_t i = 0; i < num_remat; ++i) rematerialized += rebuilt_ok[i];
+  stats_.chunks_rematerialized += rematerialized;
+  metrics.chunks_rematerialized->Add(rematerialized);
 
   std::vector<const FeatureData*> parts;
-  parts.reserve(sample.materialized.size() + rebuilt.size());
+  parts.reserve(sample.materialized.size() + num_remat);
   for (const FeatureChunk* chunk : sample.materialized) {
     parts.push_back(&chunk->data);
   }
-  for (const FeatureChunk& chunk : rebuilt) parts.push_back(&chunk.data);
+  for (size_t i = 0; i < num_remat; ++i) {
+    if (rebuilt_ok[i]) parts.push_back(&rebuilt[i].data);
+  }
 
   // Zero-copy SGD step: the sampled chunks are trained on in place through
   // a BatchView — no merged FeatureData, no per-row copies, and mixed
@@ -114,8 +164,22 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
   if (!batch.empty()) {
     CDPIPE_TRACE_SPAN("proactive.sgd_step", "training");
     Stopwatch sgd_watch;
-    CDPIPE_RETURN_NOT_OK(pipeline_manager_->TrainStep(
-        batch, CostPhase::kProactiveTraining, engine_));
+    // The train step is safe to re-run after a failure: the gradient is
+    // recomputed from scratch and only applied to the model at the very
+    // end, so a failed attempt leaves the weights untouched.
+    const Status step = RetryWithBackoff(
+        options_.retry, "proactive.train_step", [&]() -> Status {
+          return pipeline_manager_->TrainStep(
+              batch, CostPhase::kProactiveTraining, engine_);
+        });
+    if (!step.ok()) {
+      if (!options_.degrade_on_failure || !IsRetryable(step)) return step;
+      ++stats_.iterations_degraded;
+      metrics.iterations_degraded->Increment();
+      CDPIPE_LOG(Warning) << "proactive training: skipping SGD step after "
+                             "exhausted retries: "
+                          << step.ToString();
+    }
     metrics.sgd_step_seconds->Observe(sgd_watch.ElapsedSeconds());
   }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/core/data_manager.h"
 #include "src/core/pipeline_manager.h"
@@ -26,10 +27,27 @@ FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts);
 /// can run at arbitrary times without any warm-up.
 class ProactiveTrainer {
  public:
+  struct Options {
+    /// Applied to the serial re-materialization fallback and to the SGD
+    /// step (the engine applies its own policy to parallel tasks).
+    RetryPolicy retry;
+    /// Graceful degradation: when a sampled chunk cannot be
+    /// re-materialized even after retries and a serial fallback, skip it
+    /// with a recorded warning (`proactive.chunks_skipped`) instead of
+    /// aborting the run; likewise a train step that keeps failing
+    /// transiently skips the iteration.  Disabled, any failure propagates.
+    bool degrade_on_failure = true;
+  };
+
   struct Stats {
     int64_t iterations = 0;
     int64_t rows_trained = 0;
     int64_t chunks_rematerialized = 0;
+    /// Sampled chunks dropped from their iteration after re-materialization
+    /// failed beyond recovery (degraded mode only).
+    int64_t chunks_skipped = 0;
+    /// Iterations whose SGD step was abandoned after retries.
+    int64_t iterations_degraded = 0;
     double last_duration_seconds = 0.0;
     double total_duration_seconds = 0.0;
 
@@ -40,8 +58,9 @@ class ProactiveTrainer {
     }
   };
 
-  ProactiveTrainer(PipelineManager* pipeline_manager,
-                   ExecutionEngine* engine);
+  ProactiveTrainer(PipelineManager* pipeline_manager, ExecutionEngine* engine);
+  ProactiveTrainer(PipelineManager* pipeline_manager, ExecutionEngine* engine,
+                   Options options);
 
   /// One proactive iteration over an already-drawn sample.
   Status RunIteration(const DataManager::SampleSet& sample);
@@ -51,6 +70,7 @@ class ProactiveTrainer {
  private:
   PipelineManager* pipeline_manager_;
   ExecutionEngine* engine_;
+  Options options_;
   Stats stats_;
 };
 

@@ -50,6 +50,17 @@ struct DeploymentReport {
   int64_t chunks_processed = 0;
   int64_t initial_training_epochs = 0;
 
+  /// Robustness accounting for this run (derived from the metrics delta):
+  /// fired fault-injection sites, transient retries, operations whose
+  /// retries were exhausted, and degradation events (chunks processed
+  /// without storage, left unmaterialized, or dropped from a proactive
+  /// sample).  All zero in a healthy, uninstrumented run.
+  int64_t faults_injected = 0;
+  int64_t retry_attempts = 0;
+  int64_t retries_exhausted = 0;
+  int64_t degraded_events = 0;
+  int64_t proactive_chunks_skipped = 0;
+
   /// Serializes the curve as CSV with a header row.
   std::string CurveToCsv() const;
 

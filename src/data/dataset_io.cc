@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/testing/fault_injector.h"
 
 namespace cdpipe {
 
@@ -35,6 +36,7 @@ std::vector<RawChunk> DiscretizeRecords(std::vector<std::string> records,
 
 Status SaveRecords(const std::string& path,
                    const std::vector<std::string>& records) {
+  CDPIPE_FAULT_POINT("dataset_io.save_records");
   std::ofstream file(path);
   if (!file) return Status::IoError("cannot open for writing: " + path);
   for (const std::string& record : records) {
@@ -45,6 +47,7 @@ Status SaveRecords(const std::string& path,
 }
 
 Result<std::vector<std::string>> LoadRecords(const std::string& path) {
+  CDPIPE_FAULT_POINT("dataset_io.load_records");
   std::ifstream file(path);
   if (!file) return Status::IoError("cannot open for reading: " + path);
   std::vector<std::string> out;

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/testing/fault_injector.h"
 #include "src/pipeline/anomaly_filter.h"
 #include "src/pipeline/input_parser.h"
 #include "src/pipeline/standard_scaler.h"
@@ -48,7 +49,15 @@ RawChunk TaxiStreamGenerator::NextChunk() {
   chunk.id = next_id_++;
   chunk.event_time_seconds = next_time_;
 
-  for (size_t r = 0; r < config_.records_per_chunk; ++r) {
+  // Short-read fault: the upstream feed delivers only half a chunk (a
+  // reader cut off mid-window).  The generator's Rng still advances per
+  // produced record, exactly like a truncated file.
+  size_t records_to_emit = config_.records_per_chunk;
+  if (CDPIPE_FAULT_TRIGGERED("taxi_stream.short_read")) {
+    records_to_emit /= 2;
+  }
+
+  for (size_t r = 0; r < records_to_emit; ++r) {
     const int64_t pickup =
         next_time_ + rng_.NextInt(0, config_.chunk_period_seconds - 1);
     double plat = rng_.NextGaussian(kCenterLat, kCoordSigma);

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/testing/fault_injector.h"
 #include "src/pipeline/feature_hasher.h"
 #include "src/pipeline/input_parser.h"
 #include "src/pipeline/missing_value_imputer.h"
@@ -58,7 +59,14 @@ RawChunk UrlStreamGenerator::NextChunk() {
   next_time_ += config_.chunk_period_seconds;
   chunk.records.reserve(config_.records_per_chunk);
 
-  for (size_t r = 0; r < config_.records_per_chunk; ++r) {
+  // Short-read fault: deliver only half the chunk's records, as if the
+  // upstream reader lost its connection mid-chunk.
+  size_t records_to_emit = config_.records_per_chunk;
+  if (CDPIPE_FAULT_TRIGGERED("url_stream.short_read")) {
+    records_to_emit /= 2;
+  }
+
+  for (size_t r = 0; r < records_to_emit; ++r) {
     double score = 0.0;
     std::vector<std::pair<uint32_t, double>> entries;
     // Rejection-sample rows with a clear margin (see Config).

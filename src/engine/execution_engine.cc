@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <mutex>
 
 #include "src/obs/metrics.h"
+#include "src/testing/fault_injector.h"
 
 namespace cdpipe {
 
@@ -18,11 +20,26 @@ size_t ExecutionEngine::num_threads() const {
   return pool_ != nullptr ? pool_->num_threads() : 1;
 }
 
+Status ExecutionEngine::RunTask(const std::function<Status(size_t)>& task,
+                                size_t index) {
+  return RetryWithBackoff(retry_policy_, "engine.task", [&]() -> Status {
+    try {
+      CDPIPE_FAULT_POINT("engine.task");
+      CDPIPE_FAULT_DELAY("engine.slow_task");
+      return task(index);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("task threw a non-std exception");
+    }
+  });
+}
+
 Status ExecutionEngine::ParallelFor(
     size_t count, const std::function<Status(size_t)>& task) {
   if (pool_ == nullptr) {
     for (size_t i = 0; i < count; ++i) {
-      CDPIPE_RETURN_NOT_OK(task(i));
+      CDPIPE_RETURN_NOT_OK(RunTask(task, i));
     }
     return Status::OK();
   }
@@ -31,7 +48,7 @@ Status ExecutionEngine::ParallelFor(
   size_t first_error_index = SIZE_MAX;
   for (size_t i = 0; i < count; ++i) {
     pool_->Submit([&, i] {
-      Status st = task(i);
+      Status st = RunTask(task, i);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(mutex);
         if (i < first_error_index) {
@@ -58,10 +75,23 @@ Status ExecutionEngine::ParallelForRange(
       obs::MetricsRegistry::Global().GetGauge("engine.parallel_range_grain");
   grain_gauge->Set(static_cast<double>(effective_grain));
 
+  // Ranges are not retried (see set_retry_policy): the lambda only guards
+  // against injected faults and escaping exceptions.
+  const auto run_range = [&task](size_t begin, size_t end) -> Status {
+    try {
+      CDPIPE_FAULT_POINT("engine.range_task");
+      return task(begin, end);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("range task threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("range task threw a non-std exception");
+    }
+  };
+
   if (pool_ == nullptr) {
     for (size_t begin = 0; begin < count; begin += effective_grain) {
       CDPIPE_RETURN_NOT_OK(
-          task(begin, std::min(begin + effective_grain, count)));
+          run_range(begin, std::min(begin + effective_grain, count)));
     }
     return Status::OK();
   }
@@ -71,7 +101,7 @@ Status ExecutionEngine::ParallelForRange(
   for (size_t begin = 0; begin < count; begin += effective_grain) {
     const size_t end = std::min(begin + effective_grain, count);
     pool_->Submit([&, begin, end] {
-      Status st = task(begin, end);
+      Status st = run_range(begin, end);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(mutex);
         if (begin < first_error_begin) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/engine/thread_pool.h"
 
@@ -28,9 +29,23 @@ class ExecutionEngine {
 
   size_t num_threads() const;
 
+  /// Retry policy applied to every ParallelFor task: a task failing with a
+  /// transient status (kUnavailable, kIoError) is re-run in place, with
+  /// backoff, before the failure is reported.  ParallelFor tasks must
+  /// therefore be idempotent-on-failure (all call sites write into a
+  /// per-index slot that is wholly overwritten on success).  Defaults to
+  /// RetryPolicy::None().  ParallelForRange tasks are NOT retried — range
+  /// callers (sharded gradient accumulation) mutate shared accumulators and
+  /// are not failure-idempotent; their callers retry at a higher level.
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   /// Runs `task(i)` for i in [0, count).  Tasks must be independent; any
   /// returned error aborts with the first (lowest-index) failure.  Order of
-  /// side effects across tasks is unspecified when parallel.
+  /// side effects across tasks is unspecified when parallel.  A task that
+  /// throws is converted to a kInternal status instead of terminating the
+  /// process.  Fault sites: "engine.task" (error before the task body),
+  /// "engine.slow_task" (injected delay).
   Status ParallelFor(size_t count, const std::function<Status(size_t)>& task);
 
   /// Blocked-range variant: runs `task(begin, end)` over contiguous blocks
@@ -46,7 +61,12 @@ class ExecutionEngine {
       const std::function<Status(size_t, size_t)>& task);
 
  private:
+  /// One ParallelFor task attempt-with-retries: fault points, exception
+  /// conversion, transient-retry loop.
+  Status RunTask(const std::function<Status(size_t)>& task, size_t index);
+
   std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
+  RetryPolicy retry_policy_ = RetryPolicy::None();
 };
 
 }  // namespace cdpipe

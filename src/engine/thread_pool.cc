@@ -12,6 +12,7 @@ namespace {
 
 struct PoolMetrics {
   obs::Counter* tasks_executed;
+  obs::Counter* task_exceptions;
   obs::Gauge* queue_depth;
   obs::Histogram* queue_wait_seconds;
   obs::Histogram* task_seconds;
@@ -21,6 +22,7 @@ struct PoolMetrics {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       PoolMetrics m;
       m.tasks_executed = registry.GetCounter("thread_pool.tasks_executed");
+      m.task_exceptions = registry.GetCounter("thread_pool.task_exceptions");
       m.queue_depth = registry.GetGauge("thread_pool.queue_depth");
       m.queue_wait_seconds =
           registry.GetHistogram("thread_pool.queue_wait_seconds");
@@ -85,7 +87,20 @@ void ThreadPool::WorkerLoop() {
     {
       CDPIPE_TRACE_SPAN("thread_pool.task", "engine");
       Stopwatch watch;
-      task.fn();
+      // Last-resort guard: a task that lets an exception escape must not
+      // take down the worker thread (and with it the process).  Callers
+      // that need the failure reported convert exceptions to Status
+      // themselves (ExecutionEngine does); anything reaching this point is
+      // logged and counted.
+      try {
+        task.fn();
+      } catch (const std::exception& e) {
+        metrics.task_exceptions->Increment();
+        CDPIPE_LOG(Error) << "thread-pool task threw: " << e.what();
+      } catch (...) {
+        metrics.task_exceptions->Increment();
+        CDPIPE_LOG(Error) << "thread-pool task threw a non-std exception";
+      }
       metrics.task_seconds->Observe(watch.ElapsedSeconds());
     }
     metrics.tasks_executed->Increment();

@@ -1,18 +1,38 @@
 #include "src/io/checkpoint.h"
 
 #include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
 
 #include "src/io/serialization.h"
+#include "src/testing/fault_injector.h"
 
 namespace cdpipe {
 namespace {
 constexpr char kMagic[] = "cdpipe-checkpoint";
-constexpr int64_t kVersion = 1;
+constexpr int64_t kVersion = 2;
+
+// FNV-1a over the serialized payload.  The hash is appended as the final
+// `checksum` line, so any truncation or bit flip in the body is detected
+// before a single byte of deployed state is mutated.
+int64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<int64_t>(hash);
+}
+
 }  // namespace
 
 Status SaveCheckpoint(const PipelineManager& manager, std::ostream* os) {
   if (os == nullptr) return Status::InvalidArgument("null output stream");
-  Serializer out(os);
+  CDPIPE_FAULT_POINT("checkpoint.save");
+  // Serialize into a buffer first so the checksum covers the whole payload.
+  std::ostringstream buffer;
+  Serializer out(&buffer);
   out.WriteString("magic", kMagic);
   out.WriteInt("version", kVersion);
   out.WriteString("optimizer.kind", manager.optimizer().name());
@@ -20,6 +40,12 @@ Status SaveCheckpoint(const PipelineManager& manager, std::ostream* os) {
   CDPIPE_RETURN_NOT_OK(manager.model().SaveState(&out));
   CDPIPE_RETURN_NOT_OK(manager.optimizer().SaveState(&out));
   if (!out.ok()) return Status::IoError("checkpoint write failed");
+
+  const std::string payload = buffer.str();
+  *os << payload;
+  Serializer trailer(os);
+  trailer.WriteInt("checksum", Fnv1a(payload));
+  if (!trailer.ok()) return Status::IoError("checkpoint write failed");
   return Status::OK();
 }
 
@@ -36,7 +62,33 @@ Status SaveCheckpointToFile(const PipelineManager& manager,
 Status LoadCheckpoint(std::istream* is, PipelineManager* manager) {
   if (is == nullptr) return Status::InvalidArgument("null input stream");
   if (manager == nullptr) return Status::InvalidArgument("null manager");
-  Deserializer in(is);
+  CDPIPE_FAULT_POINT("checkpoint.load");
+
+  // Slurp the stream: the checksum trailer must be verified against the
+  // raw payload bytes before anything is parsed.
+  std::ostringstream slurp;
+  slurp << is->rdbuf();
+  std::string contents = slurp.str();
+  if (contents.empty()) return Status::InvalidArgument("empty checkpoint");
+
+  // Split off the final non-empty line — the `checksum i <hash>` trailer.
+  size_t end = contents.size();
+  while (end > 0 && contents[end - 1] == '\n') --end;
+  const size_t line_start = contents.rfind('\n', end - 1);
+  const size_t payload_size = line_start == std::string::npos ? 0
+                                                              : line_start + 1;
+  const std::string payload = contents.substr(0, payload_size);
+  std::istringstream trailer_stream(
+      contents.substr(payload_size, end - payload_size));
+  Deserializer trailer(&trailer_stream);
+  CDPIPE_ASSIGN_OR_RETURN(int64_t expected, trailer.ReadInt("checksum"));
+  if (expected != Fnv1a(payload)) {
+    return Status::InvalidArgument(
+        "checkpoint checksum mismatch (truncated or corrupt)");
+  }
+
+  std::istringstream body(payload);
+  Deserializer in(&body);
   CDPIPE_ASSIGN_OR_RETURN(std::string magic, in.ReadString("magic"));
   if (magic != kMagic) {
     return Status::InvalidArgument("not a cdpipe checkpoint");
@@ -54,9 +106,18 @@ Status LoadCheckpoint(std::istream* is, PipelineManager* manager) {
         "' does not match deployed optimizer '" +
         manager->optimizer().name() + "'");
   }
-  CDPIPE_RETURN_NOT_OK(manager->mutable_pipeline()->LoadState(&in));
-  CDPIPE_RETURN_NOT_OK(manager->mutable_model()->LoadState(&in));
-  CDPIPE_RETURN_NOT_OK(manager->mutable_optimizer()->LoadState(&in));
+
+  // Deserialize into scratch copies and commit only after every read
+  // succeeded — a checkpoint that fails mid-parse leaves the deployed
+  // pipeline, model, and optimizer untouched.
+  std::unique_ptr<Pipeline> pipeline = manager->pipeline().Clone();
+  auto model = std::make_unique<LinearModel>(manager->model());
+  std::unique_ptr<Optimizer> optimizer = manager->optimizer().Clone();
+  CDPIPE_RETURN_NOT_OK(pipeline->LoadState(&in));
+  CDPIPE_RETURN_NOT_OK(model->LoadState(&in));
+  CDPIPE_RETURN_NOT_OK(optimizer->LoadState(&in));
+  manager->Restore(std::move(pipeline), std::move(model),
+                   std::move(optimizer));
   return Status::OK();
 }
 

@@ -84,6 +84,14 @@ std::vector<double> Histogram::DefaultLatencyBoundsSeconds() {
           64e-3, 0.25,  1.0,   4.0,   16.0,   64.0};
 }
 
+int64_t MetricsSnapshot::CounterValueOr(const std::string& name,
+                                        int64_t fallback) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
 MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
                                        const MetricsSnapshot& after) {
   MetricsSnapshot out;

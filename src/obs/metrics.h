@@ -118,6 +118,10 @@ struct MetricsSnapshot {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
 
+  /// Value of the named counter, or `fallback` when it was never recorded
+  /// (report consumers read fault/retry counters this way).
+  int64_t CounterValueOr(const std::string& name, int64_t fallback) const;
+
   /// Per-interval view between two snapshots of the same registry: counters
   /// and histogram counts/sums subtract (clamped at zero), gauges keep the
   /// `after` value.  Metrics only present in `after` count from zero.

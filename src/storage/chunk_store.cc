@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/testing/fault_injector.h"
 
 namespace cdpipe {
 namespace {
@@ -55,6 +56,7 @@ struct StoreMetrics {
 ChunkStore::ChunkStore(Options options) : options_(options) {}
 
 Status ChunkStore::PutRaw(RawChunk chunk) {
+  CDPIPE_FAULT_POINT("chunk_store.put_raw");
   if (!raw_order_.empty() && chunk.id <= raw_order_.back()) {
     return Status::InvalidArgument(
         "raw chunk ids must be strictly increasing: got " +
@@ -74,6 +76,7 @@ Status ChunkStore::PutRaw(RawChunk chunk) {
 }
 
 Status ChunkStore::PutFeatures(FeatureChunk chunk) {
+  CDPIPE_FAULT_POINT("chunk_store.put_features");
   auto raw_it = raw_.find(chunk.origin_id);
   if (raw_it == raw_.end()) {
     return Status::NotFound("no raw chunk with id " +
@@ -128,6 +131,21 @@ const RawChunk* ChunkStore::GetRaw(ChunkId id) const {
 const FeatureChunk* ChunkStore::GetFeatures(ChunkId id) const {
   auto it = features_.find(id);
   return it != features_.end() ? &it->second : nullptr;
+}
+
+bool ChunkStore::Evict(ChunkId id) {
+  auto it = features_.find(id);
+  if (it == features_.end()) return false;
+  feature_bytes_ -= it->second.ByteSize();
+  features_.erase(it);
+  auto pos = std::find(materialized_order_.begin(), materialized_order_.end(),
+                       id);
+  CDPIPE_CHECK(pos != materialized_order_.end());
+  materialized_order_.erase(pos);
+  ++counters_.evictions;
+  StoreMetrics::Get().evictions->Increment();
+  UpdateResidencyGauges();
+  return true;
 }
 
 void ChunkStore::RecordSampleAccess(ChunkId id) {

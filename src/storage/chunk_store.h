@@ -89,6 +89,12 @@ class ChunkStore {
   /// Null when not materialized.
   const FeatureChunk* GetFeatures(ChunkId id) const;
 
+  /// Evicts the materialized feature chunk for `id` (no-op when it is not
+  /// materialized); the raw chunk stays live, so the id remains sampleable
+  /// and re-materializable.  Returns whether anything was evicted.  Used by
+  /// memory-pressure handling and by the evict-heavy fault scenario.
+  bool Evict(ChunkId id);
+
   /// Records the outcome of one sampling operation for the μ accounting.
   void RecordSampleAccess(ChunkId id);
 

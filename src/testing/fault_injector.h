@@ -1,0 +1,170 @@
+#ifndef CDPIPE_TESTING_FAULT_INJECTOR_H_
+#define CDPIPE_TESTING_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace cdpipe {
+namespace testing {
+
+/// How one armed fault site decides whether a given invocation fires.
+///
+/// All triggers are deterministic given the rule: probability rules draw
+/// from a private per-site Rng (never from the Rngs that drive experiments,
+/// so arming a site does not perturb the fault-free numerics), and counter
+/// rules fire on exact invocation indices.  Under a multi-threaded engine
+/// the per-site invocation *order* is scheduling-dependent, so faulty runs
+/// assert on completion and accounting, not on bit-identical results; the
+/// fault-free control (no rule fires) stays bit-identical by construction.
+struct FaultRule {
+  enum class Trigger {
+    kNever,        ///< armed but inert (the fault-free control)
+    kProbability,  ///< each invocation fires with probability `probability`
+    kEveryN,       ///< fires on invocations n, 2n, 3n, ... (1-based)
+    kFirstN,       ///< fires on the first `n` invocations only
+  };
+
+  Trigger trigger = Trigger::kNever;
+  double probability = 0.0;
+  uint64_t n = 0;
+  /// Seed for the per-site Rng (probability rules only).
+  uint64_t seed = 0x5EEDFA17u;
+  /// Status returned by Check() when the fault fires.
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  /// When set, Check() throws std::runtime_error(message) instead of
+  /// returning a Status — exercises exception-safety of task runners.
+  bool throws = false;
+  /// Injected delay applied by MaybeDelay() when the fault fires (slow-task
+  /// injection; Check()/ShouldTrigger() ignore it).
+  double delay_seconds = 0.0;
+  /// Total firings cap (-1 = unlimited).
+  int64_t max_triggers = -1;
+
+  static FaultRule Never();
+  static FaultRule Probability(double p, uint64_t seed);
+  static FaultRule EveryN(uint64_t n);
+  static FaultRule FirstN(uint64_t n);
+};
+
+/// Per-site invocation/firing counts, exposed to scenario assertions.
+struct FaultSiteStats {
+  int64_t invocations = 0;
+  int64_t triggers = 0;
+};
+
+/// A seeded, deterministic fault-injection registry.  Production code marks
+/// fault *sites* (named choke points: storage writes, engine tasks,
+/// re-materialization, stream reads, checkpoint IO); tests *arm* sites with
+/// rules.  Disarmed or disabled, a site costs one relaxed atomic load — the
+/// instrumentation is always compiled in and must never change behavior or
+/// numerics until a rule actually fires.
+///
+/// Thread-safe: sites are guarded by one mutex (fault paths are test-only
+/// and never hot when disabled).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector used by all CDPIPE_FAULT_* sites.
+  static FaultInjector& Global();
+
+  /// Arms `site` with `rule`, resetting the site's counters and Rng.
+  /// Arming any site enables the injector.
+  void Arm(const std::string& site, FaultRule rule);
+  void Disarm(const std::string& site);
+  /// Disarms every site, clears all stats, and disables the injector.
+  void DisarmAll();
+
+  /// Master switch checked (relaxed) by every site before taking the lock.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Fault point for Status-returning paths: returns the injected error
+  /// (or throws, for `throws` rules) when the armed rule fires, OK
+  /// otherwise.  Increments the `fault.injected` metric on firing.
+  Status Check(const char* site);
+
+  /// Fault point for degradation paths that cannot return a Status (forced
+  /// evictions, short reads): true when the armed rule fires.
+  bool ShouldTrigger(const char* site);
+
+  /// Fault point for latency injection: sleeps the rule's `delay_seconds`
+  /// when it fires.
+  void MaybeDelay(const char* site);
+
+  FaultSiteStats StatsFor(const std::string& site) const;
+  int64_t TotalTriggers() const;
+
+ private:
+  struct SiteState {
+    FaultRule rule;
+    Rng rng{0};
+    FaultSiteStats stats;
+  };
+
+  /// Returns whether the armed rule for `site` fires this invocation and
+  /// copies the rule out; false when disarmed.
+  bool Fire(const char* site, FaultRule* rule);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+/// Scoped arming for tests: arms the given (site, rule) pairs on
+/// construction and restores a fully disarmed injector on destruction, so
+/// a failing test cannot leak faults into the rest of the suite.
+class ScopedFaultScript {
+ public:
+  struct SiteRule {
+    std::string site;
+    FaultRule rule;
+  };
+
+  explicit ScopedFaultScript(std::vector<SiteRule> rules);
+  ~ScopedFaultScript();
+
+  ScopedFaultScript(const ScopedFaultScript&) = delete;
+  ScopedFaultScript& operator=(const ScopedFaultScript&) = delete;
+};
+
+}  // namespace testing
+}  // namespace cdpipe
+
+/// Status-returning fault point.  Usable in functions returning Status or
+/// Result<T> (Result converts implicitly from an error Status).
+#define CDPIPE_FAULT_POINT(site)                                          \
+  do {                                                                    \
+    if (::cdpipe::testing::FaultInjector::Global().enabled()) {           \
+      ::cdpipe::Status _cdpipe_fault =                                    \
+          ::cdpipe::testing::FaultInjector::Global().Check(site);         \
+      if (!_cdpipe_fault.ok()) return _cdpipe_fault;                      \
+    }                                                                     \
+  } while (false)
+
+/// Boolean fault point for degradation-style sites.
+#define CDPIPE_FAULT_TRIGGERED(site)                     \
+  (::cdpipe::testing::FaultInjector::Global().enabled() && \
+   ::cdpipe::testing::FaultInjector::Global().ShouldTrigger(site))
+
+/// Latency fault point.
+#define CDPIPE_FAULT_DELAY(site)                                  \
+  do {                                                            \
+    if (::cdpipe::testing::FaultInjector::Global().enabled()) {   \
+      ::cdpipe::testing::FaultInjector::Global().MaybeDelay(site); \
+    }                                                             \
+  } while (false)
+
+#endif  // CDPIPE_TESTING_FAULT_INJECTOR_H_

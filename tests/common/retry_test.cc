@@ -1,0 +1,103 @@
+#include "src/common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/testing/fault_injector.h"
+
+namespace cdpipe {
+namespace {
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+TEST(IsRetryableTest, TransientCodesOnly) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("flaky")));
+  EXPECT_TRUE(IsRetryable(Status::IoError("disk hiccup")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("missing")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("task threw")));
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutRetrying) {
+  const int64_t attempts_before = CounterValue("retry.attempts");
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(RetryPolicy{}, "test.op", [&]() -> Status {
+        ++calls;
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(CounterValue("retry.attempts"), attempts_before);
+}
+
+TEST(RetryTest, RetriesTransientFailureUntilSuccess) {
+  const int64_t attempts_before = CounterValue("retry.attempts");
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(RetryPolicy{}, "test.op", [&]() -> Status {
+        return ++calls < 3 ? Status::Unavailable("not yet") : Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(CounterValue("retry.attempts") - attempts_before, 2);
+}
+
+TEST(RetryTest, ExhaustionReturnsLastErrorAndCounts) {
+  const int64_t exhausted_before = CounterValue("retry.exhausted");
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(policy, "test.op", [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("still down");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(CounterValue("retry.exhausted") - exhausted_before, 1);
+}
+
+TEST(RetryTest, NonRetryableFailsImmediately) {
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(RetryPolicy{}, "test.op", [&]() -> Status {
+        ++calls;
+        return Status::InvalidArgument("logic error");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, NonePolicyRunsExactlyOnce) {
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(RetryPolicy::None(), "test.op", [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("down");
+      });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RecoversFromInjectedFault) {
+  // End-to-end over a real fault site: FirstN(2) fails twice, then the
+  // site recovers and the third attempt succeeds.
+  testing::ScopedFaultScript script(
+      {{"retry_test.op", testing::FaultRule::FirstN(2)}});
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(RetryPolicy{}, "test.op", [&]() -> Status {
+        ++calls;
+        CDPIPE_FAULT_POINT("retry_test.op");
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace
+}  // namespace cdpipe

@@ -1,0 +1,81 @@
+#include "tests/scenarios/scenario_runner.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/data/url_stream.h"
+#include "src/io/checkpoint.h"
+
+namespace cdpipe {
+namespace testing {
+namespace {
+
+UrlPipelineConfig PipeConfig() {
+  UrlPipelineConfig config;
+  config.raw_dim = 1000;
+  config.hash_bits = 7;
+  return config;
+}
+
+std::vector<RawChunk> MakeStream(size_t num_chunks) {
+  UrlStreamGenerator::Config config;
+  config.feature_dim = 1000;
+  config.initial_active_features = 120;
+  config.nnz_per_record = 6;
+  config.records_per_chunk = 24;
+  config.seed = 11;
+  UrlStreamGenerator generator(config);
+  return generator.Generate(num_chunks);
+}
+
+}  // namespace
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  ScenarioResult result;
+
+  Deployment::Options options;
+  options.seed = scenario.seed;
+  options.store = scenario.store;
+  options.engine_threads = scenario.engine_threads;
+  options.retry = scenario.retry;
+  options.degrade_on_failure = scenario.degrade_on_failure;
+  ContinuousDeployment::ContinuousOptions continuous;
+  continuous.proactive_every_chunks = scenario.proactive_every_chunks;
+  continuous.sample_chunks = scenario.sample_chunks;
+  const UrlPipelineConfig config = PipeConfig();
+  ContinuousDeployment deployment(
+      std::move(options), std::move(continuous), MakeUrlPipeline(config),
+      std::make_unique<LinearModel>(MakeUrlModelOptions(config)),
+      MakeOptimizer(OptimizerOptions{.kind = OptimizerKind::kAdam,
+                                     .learning_rate = 0.01}),
+      std::make_unique<MisclassificationRate>());
+
+  {
+    // The script covers stream generation too: short-read sites live in
+    // the generators.  ScopedFaultScript guarantees disarming even when a
+    // scenario assertion throws.
+    std::unique_ptr<ScopedFaultScript> script;
+    if (scenario.arm_injector) {
+      script = std::make_unique<ScopedFaultScript>(scenario.faults);
+    }
+    const std::vector<RawChunk> stream = MakeStream(scenario.num_chunks);
+    Result<DeploymentReport> report = deployment.Run(stream);
+    if (!report.ok()) {
+      result.status = report.status();
+      return result;
+    }
+    result.report = *std::move(report);
+  }
+
+  // Fingerprint the final deployed state with the injector disarmed — a
+  // checkpoint.save fault must not masquerade as a divergence.
+  std::ostringstream buffer;
+  result.status =
+      SaveCheckpoint(std::as_const(deployment).pipeline_manager(), &buffer);
+  if (result.status.ok()) result.fingerprint = buffer.str();
+  return result;
+}
+
+}  // namespace testing
+}  // namespace cdpipe

@@ -1,0 +1,58 @@
+#ifndef CDPIPE_TESTS_SCENARIOS_SCENARIO_RUNNER_H_
+#define CDPIPE_TESTS_SCENARIOS_SCENARIO_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/retry.h"
+#include "src/core/continuous_deployment.h"
+#include "src/core/report.h"
+#include "src/testing/fault_injector.h"
+
+namespace cdpipe {
+namespace testing {
+
+/// One end-to-end deployment run under a seeded fault script.  Every knob
+/// is deterministic: the stream generator, the deployment seed, and every
+/// fault rule draw from fixed seeds, so a scenario is a reproducible
+/// experiment, not a flake generator.
+struct Scenario {
+  std::string name;
+  /// Fault script armed for the whole run (stream generation included).
+  /// Empty + `arm_injector` = the "armed but inert" control.
+  std::vector<ScopedFaultScript::SiteRule> faults;
+  /// When false the injector stays fully disabled — the uninstrumented
+  /// baseline the control is compared against.
+  bool arm_injector = true;
+
+  size_t num_chunks = 24;
+  size_t engine_threads = 1;
+  ChunkStore::Options store;
+  RetryPolicy retry;
+  bool degrade_on_failure = true;
+  uint64_t seed = 3;
+  size_t proactive_every_chunks = 3;
+  size_t sample_chunks = 5;
+};
+
+struct ScenarioResult {
+  Status status = Status::OK();
+  DeploymentReport report;
+  /// Serialized checkpoint of the final deployed state (pipeline
+  /// statistics + model weights + optimizer state, hexfloat-exact).  Two
+  /// runs are bit-identical iff their fingerprints are equal.
+  std::string fingerprint;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Builds the canonical URL-stream continuous deployment, arms the
+/// scenario's fault script, replays `num_chunks` chunks, and captures the
+/// report plus the final-state fingerprint.  The script is disarmed before
+/// returning, whatever happens.
+ScenarioResult RunScenario(const Scenario& scenario);
+
+}  // namespace testing
+}  // namespace cdpipe
+
+#endif  // CDPIPE_TESTS_SCENARIOS_SCENARIO_RUNNER_H_

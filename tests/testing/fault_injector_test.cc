@@ -1,0 +1,191 @@
+#include "src/testing/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cdpipe {
+namespace testing {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.Check("any.site").ok());
+  EXPECT_FALSE(injector.ShouldTrigger("any.site"));
+  EXPECT_EQ(injector.TotalTriggers(), 0);
+}
+
+TEST_F(FaultInjectorTest, ArmingEnablesAndDisarmAllDisables) {
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::Never());
+  EXPECT_TRUE(injector.enabled());
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST_F(FaultInjectorTest, NeverRuleCountsInvocationsButDoesNotFire) {
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::Never());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.Check("site.a").ok());
+  }
+  const FaultSiteStats stats = injector.StatsFor("site.a");
+  EXPECT_EQ(stats.invocations, 10);
+  EXPECT_EQ(stats.triggers, 0);
+}
+
+TEST_F(FaultInjectorTest, EveryNFiresOnExactIndices) {
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::EveryN(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!injector.Check("site.a").ok());
+  }
+  // 1-based invocations 3, 6, 9 fire.
+  const std::vector<bool> expected = {false, false, true,  false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(injector.StatsFor("site.a").triggers, 3);
+}
+
+TEST_F(FaultInjectorTest, FirstNFiresThenRecovers) {
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::FirstN(2));
+  EXPECT_FALSE(injector.Check("site.a").ok());
+  EXPECT_FALSE(injector.Check("site.a").ok());
+  EXPECT_TRUE(injector.Check("site.a").ok());
+  EXPECT_TRUE(injector.Check("site.a").ok());
+  EXPECT_EQ(injector.StatsFor("site.a").triggers, 2);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityRuleIsDeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector;
+    injector.Arm("site.a", FaultRule::Probability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!injector.Check("site.a").ok());
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(FaultInjectorTest, SameSeedDifferentSitesDrawDifferentSequences) {
+  // The per-site Rng is seeded with rule.seed XOR hash(site), so two sites
+  // armed with the same rule do not fire in lockstep.
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::Probability(0.5, 7));
+  injector.Arm("site.b", FaultRule::Probability(0.5, 7));
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(!injector.Check("site.a").ok());
+    b.push_back(!injector.Check("site.b").ok());
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultInjectorTest, MaxTriggersCapsFirings) {
+  FaultInjector injector;
+  FaultRule rule = FaultRule::EveryN(1);
+  rule.max_triggers = 2;
+  injector.Arm("site.a", rule);
+  EXPECT_FALSE(injector.Check("site.a").ok());
+  EXPECT_FALSE(injector.Check("site.a").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(injector.Check("site.a").ok());
+  }
+  EXPECT_EQ(injector.StatsFor("site.a").triggers, 2);
+}
+
+TEST_F(FaultInjectorTest, InjectedStatusCarriesCodeAndSite) {
+  FaultInjector injector;
+  FaultRule rule = FaultRule::EveryN(1);
+  rule.code = StatusCode::kIoError;
+  rule.message = "disk on fire";
+  injector.Arm("storage.write", rule);
+  const Status status = injector.Check("storage.write");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.ToString().find("disk on fire"), std::string::npos);
+  EXPECT_NE(status.ToString().find("storage.write"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, ThrowingRuleThrows) {
+  FaultInjector injector;
+  FaultRule rule = FaultRule::EveryN(1);
+  rule.throws = true;
+  rule.message = "task exploded";
+  injector.Arm("engine.task", rule);
+  EXPECT_THROW((void)injector.Check("engine.task"), std::runtime_error);
+}
+
+TEST_F(FaultInjectorTest, DisarmedSiteIsInert) {
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::EveryN(1));
+  injector.Arm("site.b", FaultRule::Never());
+  injector.Disarm("site.a");
+  EXPECT_TRUE(injector.Check("site.a").ok());
+  EXPECT_TRUE(injector.enabled());  // site.b is still armed
+}
+
+TEST_F(FaultInjectorTest, RearmingResetsCountersAndRng) {
+  FaultInjector injector;
+  injector.Arm("site.a", FaultRule::EveryN(2));
+  (void)injector.Check("site.a");
+  (void)injector.Check("site.a");
+  injector.Arm("site.a", FaultRule::EveryN(2));
+  EXPECT_EQ(injector.StatsFor("site.a").invocations, 0);
+  // The reset counter means the next firing is invocation 2 again.
+  EXPECT_TRUE(injector.Check("site.a").ok());
+  EXPECT_FALSE(injector.Check("site.a").ok());
+}
+
+TEST_F(FaultInjectorTest, ScopedScriptArmsAndDisarms) {
+  FaultInjector& global = FaultInjector::Global();
+  {
+    ScopedFaultScript script({{"site.x", FaultRule::EveryN(1)}});
+    EXPECT_TRUE(global.enabled());
+    EXPECT_FALSE(global.Check("site.x").ok());
+  }
+  EXPECT_FALSE(global.enabled());
+  EXPECT_TRUE(global.Check("site.x").ok());
+}
+
+TEST_F(FaultInjectorTest, EmptyScriptIsArmedButInertControl) {
+  FaultInjector& global = FaultInjector::Global();
+  {
+    ScopedFaultScript script({});
+    EXPECT_TRUE(global.enabled());
+    EXPECT_TRUE(global.Check("anything").ok());
+    EXPECT_EQ(global.TotalTriggers(), 0);
+  }
+  EXPECT_FALSE(global.enabled());
+}
+
+TEST_F(FaultInjectorTest, MacrosRouteThroughGlobalInjector) {
+  auto guarded = []() -> Status {
+    CDPIPE_FAULT_POINT("macro.site");
+    return Status::OK();
+  };
+  EXPECT_TRUE(guarded().ok());
+  {
+    ScopedFaultScript script({{"macro.site", FaultRule::EveryN(1)}});
+    EXPECT_FALSE(guarded().ok());
+    EXPECT_TRUE(CDPIPE_FAULT_TRIGGERED("macro.site"));
+  }
+  EXPECT_TRUE(guarded().ok());
+  EXPECT_FALSE(CDPIPE_FAULT_TRIGGERED("macro.site"));
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cdpipe
