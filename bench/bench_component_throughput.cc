@@ -2,165 +2,247 @@
 // every pipeline component, on representative batches.  Complements Table 1
 // of the paper — all components are O(p), so throughput should be flat in
 // batch size.
+//
+// Hand-rolled timing loop (Stopwatch + calibrated repetition counts)
+// instead of google-benchmark so the binary can emit the same JSON schema
+// as the committed BENCH_components.json baseline, which was captured from
+// the seed row-at-a-time pipeline before the columnar batch path landed:
+//
+//   bench_component_throughput [--min_seconds=0.5] [--label=columnar]
+//       [--json_out=path]
+//
+// Compare against BENCH_components.json (label "seed-row-path") to read
+// the columnar speedup per component.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "src/pipeline/anomaly_filter.h"
-#include "src/pipeline/column_projector.h"
+#include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
 #include "src/pipeline/feature_hasher.h"
 #include "src/pipeline/input_parser.h"
 #include "src/pipeline/missing_value_imputer.h"
-#include "src/pipeline/one_hot_encoder.h"
 #include "src/pipeline/standard_scaler.h"
 #include "src/pipeline/taxi_feature_extractor.h"
-#include "src/pipeline/vector_assembler.h"
 
 namespace cdpipe {
+namespace bench {
 namespace {
 
-DataBatch MakeUrlRawBatch(size_t rows) {
+struct BenchResult {
+  std::string name;
+  size_t batch_rows = 0;
+  double rows_per_second = 0.0;
+};
+
+/// Times `body` (one call = one pass over `batch_rows` rows): repeats until
+/// `min_seconds` of accumulated runtime, after a warm-up pass, and returns
+/// rows/second.
+BenchResult TimeRowsPerSecond(const std::string& name, size_t batch_rows,
+                              double min_seconds,
+                              const std::function<void()>& body) {
+  body();  // warm-up (touches lazy caches, faults pages)
+  size_t iterations = 0;
+  Stopwatch watch;
+  do {
+    body();
+    ++iterations;
+  } while (watch.ElapsedSeconds() < min_seconds);
+  const double seconds = watch.ElapsedSeconds();
+  BenchResult result;
+  result.name = name;
+  result.batch_rows = batch_rows;
+  result.rows_per_second =
+      static_cast<double>(iterations * batch_rows) / seconds;
+  std::printf("%-28s rows=%-5zu  %12.0f rows/s  (%zu iters)\n", name.c_str(),
+              batch_rows, result.rows_per_second, iterations);
+  return result;
+}
+
+RawChunk MakeUrlChunk(size_t rows) {
   UrlStreamGenerator::Config config;
   config.feature_dim = 1u << 16;
   config.initial_active_features = 3000;
   config.records_per_chunk = rows;
   UrlStreamGenerator generator(config);
-  return Pipeline::WrapRaw(generator.NextChunk());
+  return generator.NextChunk();
 }
 
-DataBatch MakeTaxiRawBatch(size_t rows) {
+RawChunk MakeTaxiChunk(size_t rows) {
   TaxiStreamGenerator::Config config;
   config.records_per_chunk = rows;
   TaxiStreamGenerator generator(config);
-  return Pipeline::WrapRaw(generator.NextChunk());
+  return generator.NextChunk();
 }
 
-DataBatch ParsedUrl(size_t rows) {
+InputParser MakeLibSvmParser() {
   InputParser::Options options;
   options.feature_dim = 1u << 16;
-  InputParser parser(options);
-  return std::move(parser.Transform(MakeUrlRawBatch(rows))).ValueOrDie();
+  return InputParser(options);
 }
 
-DataBatch ParsedTaxi(size_t rows) {
+InputParser MakeCsvParser() {
   InputParser::Options options;
   options.format = InputParser::Format::kCsv;
   options.csv_schema = TaxiRawSchema();
-  InputParser parser(options);
-  return std::move(parser.Transform(MakeTaxiRawBatch(rows))).ValueOrDie();
+  return InputParser(options);
 }
 
-void BM_InputParserLibSvm(benchmark::State& state) {
-  InputParser::Options options;
-  options.feature_dim = 1u << 16;
-  InputParser parser(options);
-  const DataBatch batch = MakeUrlRawBatch(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(parser.Transform(batch));
+DataBatch ParsedUrl(const RawChunk& chunk) {
+  return std::move(MakeLibSvmParser().Transform(Pipeline::WrapRaw(chunk)))
+      .ValueOrDie();
+}
+
+DataBatch ParsedTaxi(const RawChunk& chunk) {
+  return std::move(MakeCsvParser().Transform(Pipeline::WrapRaw(chunk)))
+      .ValueOrDie();
+}
+
+void RunSuite(double min_seconds, std::vector<BenchResult>* results) {
+  const std::vector<size_t> batch_sizes = {64, 512};
+
+  for (size_t rows : batch_sizes) {
+    const RawChunk chunk = MakeUrlChunk(rows);
+    const InputParser parser = MakeLibSvmParser();
+    const DataBatch batch = Pipeline::WrapRaw(chunk);
+    results->push_back(TimeRowsPerSecond(
+        "InputParserLibSvm", rows, min_seconds,
+        [&] { (void)parser.Transform(batch); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_InputParserLibSvm)->Arg(64)->Arg(512);
 
-void BM_InputParserCsv(benchmark::State& state) {
-  InputParser::Options options;
-  options.format = InputParser::Format::kCsv;
-  options.csv_schema = TaxiRawSchema();
-  InputParser parser(options);
-  const DataBatch batch = MakeTaxiRawBatch(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(parser.Transform(batch));
+  for (size_t rows : batch_sizes) {
+    const RawChunk chunk = MakeTaxiChunk(rows);
+    const InputParser parser = MakeCsvParser();
+    const DataBatch batch = Pipeline::WrapRaw(chunk);
+    results->push_back(TimeRowsPerSecond(
+        "InputParserCsv", rows, min_seconds,
+        [&] { (void)parser.Transform(batch); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_InputParserCsv)->Arg(64)->Arg(512);
 
-void BM_MissingValueImputer(benchmark::State& state) {
-  MissingValueImputer imputer;
-  const DataBatch batch = ParsedUrl(state.range(0));
-  (void)imputer.Update(batch);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(imputer.Transform(batch));
+  for (size_t rows : batch_sizes) {
+    const RawChunk chunk = MakeUrlChunk(rows);
+    const DataBatch batch = ParsedUrl(chunk);
+    MissingValueImputer imputer;
+    (void)imputer.Update(batch);
+    results->push_back(TimeRowsPerSecond(
+        "MissingValueImputer", rows, min_seconds,
+        [&] { (void)imputer.Transform(batch); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_MissingValueImputer)->Arg(64)->Arg(512);
 
-void BM_StandardScalerSparse(benchmark::State& state) {
-  StandardScaler scaler;
-  const DataBatch batch = ParsedUrl(state.range(0));
-  (void)scaler.Update(batch);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(scaler.Transform(batch));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_StandardScalerSparse)->Arg(64)->Arg(512);
-
-void BM_StandardScalerUpdate(benchmark::State& state) {
-  const DataBatch batch = ParsedUrl(state.range(0));
-  for (auto _ : state) {
+  for (size_t rows : batch_sizes) {
+    const RawChunk chunk = MakeUrlChunk(rows);
+    const DataBatch batch = ParsedUrl(chunk);
     StandardScaler scaler;
-    benchmark::DoNotOptimize(scaler.Update(batch));
+    (void)scaler.Update(batch);
+    results->push_back(TimeRowsPerSecond(
+        "StandardScalerSparse", rows, min_seconds,
+        [&] { (void)scaler.Transform(batch); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_StandardScalerUpdate)->Arg(512);
 
-void BM_FeatureHasher(benchmark::State& state) {
-  FeatureHasher::Options options;
-  options.bits = 12;
-  FeatureHasher hasher(options);
-  const DataBatch batch = ParsedUrl(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hasher.Transform(batch));
+  {
+    const size_t rows = 512;
+    const RawChunk chunk = MakeUrlChunk(rows);
+    const DataBatch batch = ParsedUrl(chunk);
+    results->push_back(
+        TimeRowsPerSecond("StandardScalerUpdate", rows, min_seconds, [&] {
+          StandardScaler scaler;
+          (void)scaler.Update(batch);
+        }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_FeatureHasher)->Arg(64)->Arg(512);
 
-void BM_TaxiFeatureExtractor(benchmark::State& state) {
-  TaxiFeatureExtractor extractor;
-  const DataBatch batch = ParsedTaxi(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(extractor.Transform(batch));
+  for (size_t rows : batch_sizes) {
+    const RawChunk chunk = MakeUrlChunk(rows);
+    const DataBatch batch = ParsedUrl(chunk);
+    FeatureHasher::Options options;
+    options.bits = 12;
+    const FeatureHasher hasher(options);
+    results->push_back(TimeRowsPerSecond(
+        "FeatureHasher", rows, min_seconds,
+        [&] { (void)hasher.Transform(batch); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_TaxiFeatureExtractor)->Arg(64)->Arg(512);
 
-void BM_FullUrlPipelineTransform(benchmark::State& state) {
-  UrlPipelineConfig config;
-  config.raw_dim = 1u << 16;
-  config.hash_bits = 12;
-  auto pipeline = MakeUrlPipeline(config);
-  UrlStreamGenerator::Config stream_config;
-  stream_config.feature_dim = config.raw_dim;
-  stream_config.initial_active_features = 3000;
-  stream_config.records_per_chunk = state.range(0);
-  UrlStreamGenerator generator(stream_config);
-  const RawChunk chunk = generator.NextChunk();
-  (void)pipeline->UpdateAndTransform(chunk);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pipeline->Transform(chunk));
+  for (size_t rows : batch_sizes) {
+    const RawChunk chunk = MakeTaxiChunk(rows);
+    const DataBatch batch = ParsedTaxi(chunk);
+    const TaxiFeatureExtractor extractor;
+    results->push_back(TimeRowsPerSecond(
+        "TaxiFeatureExtractor", rows, min_seconds,
+        [&] { (void)extractor.Transform(batch); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_FullUrlPipelineTransform)->Arg(64)->Arg(512);
 
-void BM_FullTaxiPipelineTransform(benchmark::State& state) {
-  auto pipeline = MakeTaxiPipeline();
-  TaxiStreamGenerator::Config stream_config;
-  stream_config.records_per_chunk = state.range(0);
-  TaxiStreamGenerator generator(stream_config);
-  const RawChunk chunk = generator.NextChunk();
-  (void)pipeline->UpdateAndTransform(chunk);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pipeline->Transform(chunk));
+  for (size_t rows : batch_sizes) {
+    UrlPipelineConfig config;
+    config.raw_dim = 1u << 16;
+    config.hash_bits = 12;
+    auto pipeline = MakeUrlPipeline(config);
+    UrlStreamGenerator::Config stream_config;
+    stream_config.feature_dim = config.raw_dim;
+    stream_config.initial_active_features = 3000;
+    stream_config.records_per_chunk = rows;
+    UrlStreamGenerator generator(stream_config);
+    const RawChunk chunk = generator.NextChunk();
+    (void)pipeline->UpdateAndTransform(chunk);
+    results->push_back(TimeRowsPerSecond(
+        "FullUrlPipelineTransform", rows, min_seconds,
+        [&] { (void)pipeline->Transform(chunk); }));
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+
+  for (size_t rows : batch_sizes) {
+    auto pipeline = MakeTaxiPipeline();
+    TaxiStreamGenerator::Config stream_config;
+    stream_config.records_per_chunk = rows;
+    TaxiStreamGenerator generator(stream_config);
+    const RawChunk chunk = generator.NextChunk();
+    (void)pipeline->UpdateAndTransform(chunk);
+    results->push_back(TimeRowsPerSecond(
+        "FullTaxiPipelineTransform", rows, min_seconds,
+        [&] { (void)pipeline->Transform(chunk); }));
+  }
 }
-BENCHMARK(BM_FullTaxiPipelineTransform)->Arg(64)->Arg(512);
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double min_seconds = flags.GetDouble("min_seconds", 0.5);
+  const std::string label = flags.GetString("label", "columnar");
+  const std::string json_out = flags.GetString("json_out", "");
+
+  std::printf("component throughput (label=%s, min_seconds=%.2f)\n",
+              label.c_str(), min_seconds);
+  std::vector<BenchResult> results;
+  RunSuite(min_seconds, &results);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", json_out.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"component_throughput\",\n";
+    out << StrFormat("  \"label\": \"%s\",\n", label.c_str());
+    out << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      out << StrFormat(
+          "    {\"name\": \"%s\", \"batch_rows\": %zu, "
+          "\"rows_per_second\": %.1f}%s\n",
+          results[i].name.c_str(), results[i].batch_rows,
+          results[i].rows_per_second, i + 1 < results.size() ? "," : "");
+    }
+    out << "  ]\n}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed writing '%s'\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report: %s\n", json_out.c_str());
+  }
+  return 0;
+}
 
 }  // namespace
+}  // namespace bench
 }  // namespace cdpipe
+
+int main(int argc, char** argv) { return cdpipe::bench::Main(argc, argv); }

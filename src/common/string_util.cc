@@ -10,17 +10,23 @@ namespace cdpipe {
 std::vector<std::string_view> SplitString(std::string_view input,
                                           char delimiter) {
   std::vector<std::string_view> out;
+  SplitStringInto(input, delimiter, &out);
+  return out;
+}
+
+void SplitStringInto(std::string_view input, char delimiter,
+                     std::vector<std::string_view>* out) {
+  out->clear();
   size_t start = 0;
   while (true) {
     size_t pos = input.find(delimiter, start);
     if (pos == std::string_view::npos) {
-      out.push_back(input.substr(start));
+      out->push_back(input.substr(start));
       break;
     }
-    out.push_back(input.substr(start, pos - start));
+    out->push_back(input.substr(start, pos - start));
     start = pos + 1;
   }
-  return out;
 }
 
 std::string_view StripWhitespace(std::string_view input) {
@@ -37,10 +43,30 @@ std::string_view StripWhitespace(std::string_view input) {
   return input.substr(begin, end - begin);
 }
 
-Result<double> ParseDouble(std::string_view input) {
+bool ParseDoubleFast(std::string_view input, double* out) {
   input = StripWhitespace(input);
   // std::from_chars rejects an explicit '+' sign; accept it here ("+1" is
   // the canonical positive label in libsvm files).
+  if (!input.empty() && input[0] == '+') input.remove_prefix(1);
+  if (input.empty()) return false;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseInt64Fast(std::string_view input, int64_t* out) {
+  input = StripWhitespace(input);
+  if (!input.empty() && input[0] == '+') input.remove_prefix(1);
+  if (input.empty()) return false;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  input = StripWhitespace(input);
   if (!input.empty() && input[0] == '+') input.remove_prefix(1);
   if (input.empty()) {
     return Status::InvalidArgument("empty string is not a double");
@@ -137,6 +163,53 @@ Result<int64_t> ParseDateTime(std::string_view input) {
   }
   return DaysFromCivil(year, month, day) * 86400 + hour * 3600 + minute * 60 +
          second;
+}
+
+bool ParseDateTimeFast(std::string_view input, int64_t* out) {
+  input = StripWhitespace(input);
+  if (input.size() != 19 || input[4] != '-' || input[7] != '-' ||
+      input[10] != ' ' || input[13] != ':' || input[16] != ':') {
+    return false;
+  }
+  bool all_digits = true;
+  auto field = [&](size_t pos, size_t len) -> int64_t {
+    int64_t acc = 0;
+    for (size_t i = 0; i < len; ++i) {
+      const char c = input[pos + i];
+      if (c < '0' || c > '9') {
+        all_digits = false;
+        return 0;
+      }
+      acc = acc * 10 + (c - '0');
+    }
+    return acc;
+  };
+  const int64_t year = field(0, 4);
+  const int64_t month = field(5, 2);
+  const int64_t day = field(8, 2);
+  const int64_t hour = field(11, 2);
+  const int64_t minute = field(14, 2);
+  const int64_t second = field(17, 2);
+  if (!all_digits) {
+    // Fields with signs or whitespace that ParseInt64 would accept: defer
+    // to the slow path so both variants accept the same grammar.
+    Result<int64_t> slow = ParseDateTime(input);
+    if (!slow.ok()) return false;
+    *out = *slow;
+    return true;
+  }
+  static constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12 || day < 1 || hour > 23 || minute > 59 ||
+      second > 59) {
+    return false;
+  }
+  int64_t dim = kDaysInMonth[month - 1];
+  if (month == 2 && IsLeapYear(year)) dim = 29;
+  if (day > dim) return false;
+  *out = DaysFromCivil(year, month, day) * 86400 + hour * 3600 + minute * 60 +
+         second;
+  return true;
 }
 
 std::string FormatDateTime(int64_t unix_seconds) {

@@ -13,6 +13,11 @@ namespace cdpipe {
 std::vector<std::string_view> SplitString(std::string_view input,
                                           char delimiter);
 
+/// Allocation-free variant for hot loops: clears and refills `*out`,
+/// reusing its capacity across calls.
+void SplitStringInto(std::string_view input, char delimiter,
+                     std::vector<std::string_view>* out);
+
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view input);
 
@@ -20,10 +25,22 @@ std::string_view StripWhitespace(std::string_view input);
 Result<double> ParseDouble(std::string_view input);
 Result<int64_t> ParseInt64(std::string_view input);
 
+/// Error-message-free variants for hot parse loops.  They accept exactly
+/// the same grammar and produce bit-identical values (same `from_chars`
+/// conversion), but report failure via the return value instead of
+/// building an error Status — parsers that drop malformed records per row
+/// should not pay for an allocation per cell.
+bool ParseDoubleFast(std::string_view input, double* out);
+bool ParseInt64Fast(std::string_view input, int64_t* out);
+
 /// Parses "YYYY-MM-DD hh:mm:ss" into seconds since 1970-01-01 00:00:00 UTC
 /// (proleptic Gregorian, no leap seconds).  This is the format of NYC taxi
 /// trip records.
 Result<int64_t> ParseDateTime(std::string_view input);
+
+/// Fast variant of ParseDateTime: same accepted grammar and identical
+/// result, failure as a bool (see ParseDoubleFast).
+bool ParseDateTimeFast(std::string_view input, int64_t* out);
 
 /// Inverse of ParseDateTime.
 std::string FormatDateTime(int64_t unix_seconds);

@@ -73,14 +73,14 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
 }
 
 Result<FeatureChunk> PipelineManager::Rematerialize(
-    const RawChunk& chunk) const {
+    const RawChunk& chunk, ExecutionEngine* engine) const {
   CDPIPE_TRACE_SPAN("chunk_store.rematerialize", "storage");
   CDPIPE_FAULT_POINT("pipeline.rematerialize");
   CostModel::ScopedTimer timer(cost_, CostPhase::kMaterialization);
   size_t rows_scanned = 0;
   Result<FeatureData> features =
       options_.online_statistics
-          ? pipeline_->Transform(chunk, &rows_scanned)
+          ? pipeline_->Transform(chunk, engine, &rows_scanned)
           : pipeline_->TransformRecomputingStatistics(chunk, &rows_scanned);
   cost_->AddWork(CostPhase::kMaterialization,
                  static_cast<int64_t>(rows_scanned));
@@ -93,11 +93,11 @@ Result<FeatureChunk> PipelineManager::Rematerialize(
 }
 
 Result<FeatureData> PipelineManager::TransformForInference(
-    const RawChunk& queries) const {
+    const RawChunk& queries, ExecutionEngine* engine) const {
   CostModel::ScopedTimer timer(cost_, CostPhase::kPrediction);
   size_t rows_scanned = 0;
   CDPIPE_ASSIGN_OR_RETURN(FeatureData features,
-                          pipeline_->Transform(queries, &rows_scanned));
+                          pipeline_->Transform(queries, engine, &rows_scanned));
   cost_->AddWork(CostPhase::kPrediction, static_cast<int64_t>(rows_scanned));
   return features;
 }

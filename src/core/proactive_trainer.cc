@@ -44,31 +44,6 @@ struct TrainerMetrics {
 
 }  // namespace
 
-FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts) {
-  FeatureData out;
-  size_t total_rows = 0;
-  for (const FeatureData* part : parts) {
-    CDPIPE_CHECK(part != nullptr);
-    out.dim = std::max(out.dim, part->dim);
-    total_rows += part->num_rows();
-  }
-  out.features.reserve(total_rows);
-  out.labels.reserve(total_rows);
-  for (const FeatureData* part : parts) {
-    for (size_t r = 0; r < part->num_rows(); ++r) {
-      const SparseVector& x = part->features[r];
-      if (x.dim() == out.dim) {
-        out.features.push_back(x);
-      } else {
-        // Widen the nominal dimension; indices are untouched.
-        out.features.push_back(std::move(x.WithDim(out.dim)).ValueOrDie());
-      }
-      out.labels.push_back(part->labels[r]);
-    }
-  }
-  return out;
-}
-
 ProactiveTrainer::ProactiveTrainer(PipelineManager* pipeline_manager,
                                    ExecutionEngine* engine)
     : ProactiveTrainer(pipeline_manager, engine, Options{}) {}
@@ -109,18 +84,20 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
       return engine_status;
     }
     // Degradation, step 1: chunks that failed in the fan-out (including
-    // tasks the engine's retry policy gave up on) get one serial fallback
-    // recomputation from the raw chunk on the caller's thread.  Step 2:
-    // chunks that still fail are dropped from this iteration with a
-    // recorded warning — a smaller sample is strictly better than an
-    // aborted deployment run.
+    // tasks the engine's retry policy gave up on) get one fallback
+    // recomputation from the raw chunk on the caller's thread.  The engine
+    // pool is drained at this point, so the fallback may shard the
+    // transform across it (the fan-out tasks above must not: the pool does
+    // not nest).  Step 2: chunks that still fail are dropped from this
+    // iteration with a recorded warning — a smaller sample is strictly
+    // better than an aborted deployment run.
     for (size_t i = 0; i < num_remat; ++i) {
       if (rebuilt_ok[i]) continue;
       const Status fallback = RetryWithBackoff(
           options_.retry, "proactive.rematerialize_fallback",
           [&]() -> Status {
-            Result<FeatureChunk> chunk =
-                pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]);
+            Result<FeatureChunk> chunk = pipeline_manager_->Rematerialize(
+                *sample.to_rematerialize[i], engine_);
             if (!chunk.ok()) return chunk.status();
             rebuilt[i] = std::move(chunk).value();
             rebuilt_ok[i] = 1;

@@ -11,11 +11,6 @@
 
 namespace cdpipe {
 
-/// Merges feature chunks (possibly with different nominal dims, e.g. when a
-/// one-hot dictionary grew between materializations) into one training
-/// batch whose dim is the maximum of the inputs.
-FeatureData MergeFeatureData(const std::vector<const FeatureData*>& parts);
-
 /// Executes proactive training (paper §3.3 / §4.4): each invocation is
 /// exactly one iteration of mini-batch SGD over a sample of the historical
 /// data.  Evicted chunks in the sample are first re-materialized through

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/dataframe/column_ops.h"
 #include "src/testing/fault_injector.h"
 #include "src/pipeline/anomaly_filter.h"
 #include "src/pipeline/input_parser.h"
@@ -137,16 +138,27 @@ std::unique_ptr<Pipeline> MakeTaxiPipeline() {
 
   // Trips longer than 22 hours, shorter than 10 seconds, or with zero
   // distance are anomalies (§5.1).
-  auto keep = [](const Schema& schema, const Row& row) -> Result<bool> {
+  auto keep = [](const TableData& table,
+                 std::vector<uint8_t>* mask) -> Status {
     CDPIPE_ASSIGN_OR_RETURN(size_t duration_idx,
-                            schema.FieldIndex("duration_s"));
+                            table.schema()->FieldIndex("duration_s"));
     CDPIPE_ASSIGN_OR_RETURN(size_t distance_idx,
-                            schema.FieldIndex("haversine_km"));
-    CDPIPE_ASSIGN_OR_RETURN(double duration,
-                            row[duration_idx].AsDouble());
-    CDPIPE_ASSIGN_OR_RETURN(double distance,
-                            row[distance_idx].AsDouble());
-    return duration >= 10.0 && duration <= 22.0 * 3600.0 && distance > 0.0;
+                            table.schema()->FieldIndex("haversine_km"));
+    CDPIPE_ASSIGN_OR_RETURN(
+        NumericColumnView duration,
+        NumericColumnView::Of(table.column(duration_idx), "duration_s"));
+    CDPIPE_ASSIGN_OR_RETURN(
+        NumericColumnView distance,
+        NumericColumnView::Of(table.column(distance_idx), "haversine_km"));
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (duration.IsNull(r) || distance.IsNull(r)) {
+        (*mask)[r] = 0;
+        continue;
+      }
+      const double d = duration[r];
+      (*mask)[r] = d >= 10.0 && d <= 22.0 * 3600.0 && distance[r] > 0.0;
+    }
+    return Status::OK();
   };
   CDPIPE_CHECK(pipeline
                    ->AddComponent(std::make_unique<AnomalyFilter>(

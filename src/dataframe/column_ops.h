@@ -1,0 +1,57 @@
+#ifndef CDPIPE_DATAFRAME_COLUMN_OPS_H_
+#define CDPIPE_DATAFRAME_COLUMN_OPS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dataframe/column.h"
+
+namespace cdpipe {
+
+/// Read-only numeric view over a kDouble, kInt64, or kTimestamp column:
+/// one well-predicted branch per access instead of variant dispatch.  The
+/// seed row path widened int cells through Value::AsDouble; `operator[]`
+/// performs the identical static_cast, so numeric results are unchanged.
+class NumericColumnView {
+ public:
+  /// Fails with FailedPrecondition (matching the row path's AsDouble error
+  /// class) when the column is not numeric.
+  static Result<NumericColumnView> Of(const Column& column,
+                                      const std::string& context) {
+    switch (column.type()) {
+      case ValueType::kDouble:
+        return NumericColumnView(&column, column.doubles().data(), nullptr);
+      case ValueType::kInt64:
+      case ValueType::kTimestamp:
+        return NumericColumnView(&column, nullptr, column.ints().data());
+      default:
+        return Status::FailedPrecondition("cannot widen " +
+                                          std::string(ValueTypeName(
+                                              column.type())) +
+                                          " to double" +
+                                          (context.empty() ? "" : ": " +
+                                                                      context));
+    }
+  }
+
+  double operator[](size_t r) const {
+    return doubles_ != nullptr ? doubles_[r]
+                               : static_cast<double>(ints_[r]);
+  }
+  bool IsNull(size_t r) const { return column_->IsNull(r); }
+  bool has_nulls() const { return column_->has_nulls(); }
+  size_t size() const { return column_->size(); }
+
+ private:
+  NumericColumnView(const Column* column, const double* doubles,
+                    const int64_t* ints)
+      : column_(column), doubles_(doubles), ints_(ints) {}
+
+  const Column* column_;
+  const double* doubles_;
+  const int64_t* ints_;
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_DATAFRAME_COLUMN_OPS_H_

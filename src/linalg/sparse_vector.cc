@@ -36,8 +36,28 @@ Result<SparseVector> SparseVector::FromSorted(uint32_t dim,
 
 SparseVector SparseVector::FromUnsorted(
     uint32_t dim, std::vector<std::pair<uint32_t, double>> entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return FromUnsortedInto(dim, &entries);
+}
+
+SparseVector SparseVector::FromUnsortedInto(
+    uint32_t dim, std::vector<std::pair<uint32_t, double>>* scratch) {
+  std::vector<std::pair<uint32_t, double>>& entries = *scratch;
+  // Strictly increasing inputs (common: parsers emit index-ordered records)
+  // skip the sort.  The fast path requires *strict* order — with duplicate
+  // keys an unstable sort may permute them, and duplicate values must be
+  // summed in exactly the order std::sort leaves them to stay bit-identical
+  // with the non-scratch construction.
+  bool strictly_sorted = true;
+  for (size_t k = 1; k < entries.size(); ++k) {
+    if (entries[k].first <= entries[k - 1].first) {
+      strictly_sorted = false;
+      break;
+    }
+  }
+  if (!strictly_sorted) {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
   SparseVector out(dim);
   out.indices_.reserve(entries.size());
   out.values_.reserve(entries.size());

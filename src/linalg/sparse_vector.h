@@ -31,6 +31,20 @@ class SparseVector {
   static SparseVector FromUnsorted(
       uint32_t dim, std::vector<std::pair<uint32_t, double>> entries);
 
+  /// Same construction, but through a caller-owned scratch buffer whose
+  /// capacity is reused across calls (hot loops build thousands of rows).
+  /// `*scratch` is sorted in place and its contents are unspecified after
+  /// the call; the produced vector is bit-identical to
+  /// `FromUnsorted(dim, *scratch)`.
+  static SparseVector FromUnsortedInto(
+      uint32_t dim, std::vector<std::pair<uint32_t, double>>* scratch);
+
+  /// Reserves capacity for `n` entries in both parallel arrays.
+  void Reserve(size_t n) {
+    indices_.reserve(n);
+    values_.reserve(n);
+  }
+
   SparseVector(const SparseVector&) = default;
   SparseVector& operator=(const SparseVector&) = default;
   SparseVector(SparseVector&&) noexcept = default;

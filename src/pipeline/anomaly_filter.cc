@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 
@@ -14,13 +15,28 @@ AnomalyFilter::AnomalyFilter(std::string rule_name, Predicate keep)
 
 std::unique_ptr<AnomalyFilter> AnomalyFilter::KeepInRange(
     const std::string& column, double min, double max) {
-  auto predicate = [column, min, max](const Schema& schema,
-                                      const Row& row) -> Result<bool> {
-    CDPIPE_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column));
-    const Value& v = row[idx];
-    if (v.is_null()) return false;
-    CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
-    return d >= min && d <= max;
+  auto predicate = [column, min, max](const TableData& table,
+                                      std::vector<uint8_t>* keep) -> Status {
+    CDPIPE_ASSIGN_OR_RETURN(size_t idx, table.schema()->FieldIndex(column));
+    CDPIPE_ASSIGN_OR_RETURN(NumericColumnView view,
+                            NumericColumnView::Of(table.column(idx), column));
+    const size_t rows = view.size();
+    if (!view.has_nulls()) {
+      for (size_t r = 0; r < rows; ++r) {
+        const double d = view[r];
+        (*keep)[r] = d >= min && d <= max;
+      }
+    } else {
+      for (size_t r = 0; r < rows; ++r) {
+        if (view.IsNull(r)) {
+          (*keep)[r] = 0;
+          continue;
+        }
+        const double d = view[r];
+        (*keep)[r] = d >= min && d <= max;
+      }
+    }
+    return Status::OK();
   };
   return std::make_unique<AnomalyFilter>(
       StrFormat("%s in [%g, %g]", column.c_str(), min, max),
@@ -32,20 +48,33 @@ Result<DataBatch> AnomalyFilter::Transform(const DataBatch& batch) const {
   if (table == nullptr) {
     return Status::FailedPrecondition("anomaly_filter expects a table batch");
   }
-  TableData out;
-  out.schema = table->schema;
-  out.rows.reserve(table->rows.size());
-  size_t dropped = 0;
-  for (const Row& row : table->rows) {
-    CDPIPE_ASSIGN_OR_RETURN(bool keep, keep_(*table->schema, row));
-    if (keep) {
-      out.rows.push_back(row);
-    } else {
-      ++dropped;
-    }
-  }
+  std::vector<uint8_t> keep(table->num_rows(), 1);
+  CDPIPE_RETURN_NOT_OK(keep_(*table, &keep));
+  size_t kept = 0;
+  for (uint8_t k : keep) kept += k != 0;
+  const size_t dropped = table->num_rows() - kept;
   dropped_.fetch_add(dropped, std::memory_order_relaxed);
-  return DataBatch(std::move(out));
+  if (dropped == 0) {
+    return DataBatch(*table);
+  }
+  return DataBatch(table->Filter(keep));
+}
+
+Result<DataBatch> AnomalyFilter::TransformOwned(DataBatch&& batch) const {
+  auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition("anomaly_filter expects a table batch");
+  }
+  std::vector<uint8_t> keep(table->num_rows(), 1);
+  CDPIPE_RETURN_NOT_OK(keep_(*table, &keep));
+  size_t kept = 0;
+  for (uint8_t k : keep) kept += k != 0;
+  const size_t dropped = table->num_rows() - kept;
+  dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  if (dropped == 0) {
+    return std::move(batch);  // nothing to drop: pass the batch through
+  }
+  return DataBatch(table->Filter(keep));
 }
 
 std::unique_ptr<PipelineComponent> AnomalyFilter::Clone() const {

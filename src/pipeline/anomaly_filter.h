@@ -2,6 +2,7 @@
 #define CDPIPE_PIPELINE_ANOMALY_FILTER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,9 +18,12 @@ namespace cdpipe {
 /// (a filter, Table 1 of the paper).
 class AnomalyFilter : public PipelineComponent {
  public:
-  /// Returns true when the row should be KEPT.  Errors propagate.
+  /// Batch-level predicate: `*keep` arrives sized to the batch's row count
+  /// and filled with 1; the predicate zeroes the rows to DROP.  Resolving
+  /// columns once per batch (instead of once per row) is what lets filter
+  /// rules run as column kernels.  Errors propagate and abort the batch.
   using Predicate =
-      std::function<Result<bool>(const Schema& schema, const Row& row)>;
+      std::function<Status(const TableData& table, std::vector<uint8_t>* keep)>;
 
   AnomalyFilter(std::string rule_name, Predicate keep);
 
@@ -34,6 +38,7 @@ class AnomalyFilter : public PipelineComponent {
   }
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
 
   /// Total rows dropped since construction.

@@ -21,6 +21,7 @@ class ColumnProjector : public PipelineComponent {
   }
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
 
  private:

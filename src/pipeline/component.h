@@ -65,6 +65,16 @@ class PipelineComponent {
   /// platform calls this concurrently during proactive training.
   virtual Result<DataBatch> Transform(const DataBatch& batch) const = 0;
 
+  /// Transform for a batch the caller no longer needs.  In-place components
+  /// (imputer, scaler) override this to mutate the batch instead of copying
+  /// it; the default delegates to `Transform`.  The pipeline drives every
+  /// stage through this entry point — intermediate batches are always owned
+  /// by the pipeline loop.  Overrides must produce output bit-identical to
+  /// `Transform` on the same input.
+  virtual Result<DataBatch> TransformOwned(DataBatch&& batch) const {
+    return Transform(batch);
+  }
+
   /// Discards all statistics, returning the component to its initial state.
   virtual void Reset() {}
 

@@ -1,5 +1,6 @@
 #include "src/pipeline/input_parser.h"
 
+#include <charconv>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -17,12 +18,67 @@ Result<const TableData*> ExpectRawTable(const DataBatch& batch) {
     return Status::FailedPrecondition(
         "input_parser expects a table batch (is it the first component?)");
   }
-  if (table->schema == nullptr || table->schema->num_fields() != 1 ||
-      table->schema->field(0).type != ValueType::kString) {
+  if (table->schema() == nullptr || table->schema()->num_fields() != 1 ||
+      table->schema()->field(0).type != ValueType::kString) {
     return Status::FailedPrecondition(
         "input_parser expects a single string column");
   }
   return table;
+}
+
+/// One CSV cell parsed into its typed slot, pending the verdict on the
+/// whole record (malformed records are dropped atomically).
+struct ParsedCell {
+  bool null = false;
+  double d = 0.0;
+  int64_t i = 0;
+  std::string_view s;
+};
+
+/// Single-pass scan of one well-formed libsvm record ("label idx:val ...").
+/// Returns false on anything unusual (tabs, signed indices, malformed
+/// tokens) *without* a verdict — the caller re-parses the row with the
+/// token path, which owns the accept/reject decision.  For rows both paths
+/// accept, the results are bit-identical: the same from_chars conversions
+/// see the same character ranges.
+bool ScanLibSvmRow(std::string_view line, uint32_t feature_dim,
+                   std::vector<std::pair<uint32_t, double>>* entries,
+                   double* label) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  if (p == end) return false;
+  if (*p == '+') ++p;  // "+1" is the canonical positive label
+  const auto label_result = std::from_chars(p, end, *label);
+  if (label_result.ec != std::errc()) return false;
+  p = label_result.ptr;
+  while (p != end) {
+    if (*p != ' ') return false;
+    ++p;
+    if (p == end || *p == ' ') continue;  // empty tokens are skipped
+    uint32_t index = 0;
+    const auto index_result = std::from_chars(p, end, index);
+    if (index_result.ec != std::errc() || index_result.ptr == end ||
+        *index_result.ptr != ':' || index >= feature_dim) {
+      return false;
+    }
+    p = index_result.ptr + 1;
+    double value = 0.0;
+    // "nan" markers map to the imputer's quiet NaN exactly like the token
+    // path; anything merely starting with those letters falls through to
+    // from_chars and, if a suffix remains, to the fallback.
+    if (end - p >= 3 && p[0] == 'n' && p[1] == 'a' && p[2] == 'n' &&
+        (end - p == 3 || p[3] == ' ')) {
+      value = std::numeric_limits<double>::quiet_NaN();
+      p += 3;
+    } else {
+      if (p != end && *p == '+') ++p;  // mirrors ParseDouble
+      const auto value_result = std::from_chars(p, end, value);
+      if (value_result.ec != std::errc()) return false;
+      p = value_result.ptr;
+    }
+    entries->emplace_back(index, value);
+  }
+  return true;
 }
 
 }  // namespace
@@ -42,17 +98,35 @@ Result<DataBatch> InputParser::Transform(const DataBatch& batch) const {
 }
 
 Result<DataBatch> InputParser::TransformLibSvm(const TableData& table) const {
+  const Column& raw = table.column(0);
+  const size_t num_rows = table.num_rows();
+
   FeatureData out;
   out.dim = options_.feature_dim;
-  out.features.reserve(table.rows.size());
-  out.labels.reserve(table.rows.size());
+  out.features.reserve(num_rows);
+  out.labels.reserve(num_rows);
 
-  for (const Row& row : table.rows) {
-    const std::string& line = row[0].string_value();
-    const std::vector<std::string_view> tokens = SplitString(line, ' ');
-    bool bad = tokens.empty();
+  // Per-batch scratch reused across rows: the token views of the current
+  // line and its (index, value) entries.
+  std::vector<std::string_view> tokens;
+  std::vector<std::pair<uint32_t, double>> entries;
+
+  for (size_t r = 0; r < num_rows; ++r) {
+    const std::string_view line = raw.StringAt(r);
+    entries.clear();
     double label = 0.0;
-    std::vector<std::pair<uint32_t, double>> entries;
+    if (ScanLibSvmRow(line, options_.feature_dim, &entries, &label)) {
+      if (options_.binarize_labels) label = label > 0.0 ? 1.0 : -1.0;
+      out.features.push_back(
+          SparseVector::FromUnsortedInto(options_.feature_dim, &entries));
+      out.labels.push_back(label);
+      continue;
+    }
+    // Fallback for rows the scanner declined: the token path decides
+    // whether the record is well-formed or counted as malformed.
+    SplitStringInto(line, ' ', &tokens);
+    entries.clear();
+    bool bad = tokens.empty();
     if (!bad) {
       Result<double> parsed_label = ParseDouble(tokens[0]);
       if (parsed_label.ok()) {
@@ -92,14 +166,14 @@ Result<DataBatch> InputParser::TransformLibSvm(const TableData& table) const {
     }
     if (bad) {
       if (options_.strict) {
-        return Status::InvalidArgument("malformed libsvm record: '" + line +
-                                       "'");
+        return Status::InvalidArgument("malformed libsvm record: '" +
+                                       std::string(line) + "'");
       }
       malformed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     out.features.push_back(
-        SparseVector::FromUnsorted(options_.feature_dim, std::move(entries)));
+        SparseVector::FromUnsortedInto(options_.feature_dim, &entries));
     out.labels.push_back(label);
   }
   return DataBatch(std::move(out));
@@ -107,76 +181,89 @@ Result<DataBatch> InputParser::TransformLibSvm(const TableData& table) const {
 
 Result<DataBatch> InputParser::TransformCsv(const TableData& table) const {
   const Schema& schema = *options_.csv_schema;
-  TableData out;
-  out.schema = options_.csv_schema;
-  out.rows.reserve(table.rows.size());
+  const Column& raw = table.column(0);
+  const size_t num_rows = table.num_rows();
+  const size_t num_fields = schema.num_fields();
 
-  for (const Row& row : table.rows) {
-    const std::string& line = row[0].string_value();
-    const std::vector<std::string_view> fields =
-        SplitString(line, options_.delimiter);
-    if (fields.size() != schema.num_fields()) {
+  TableData out(options_.csv_schema);
+  out.ReserveRows(num_rows);
+
+  // Per-batch scratch: field views of the current line and its parsed
+  // cells, appended to the output columns only once the record is known to
+  // be well-formed.
+  std::vector<std::string_view> fields;
+  std::vector<ParsedCell> cells(num_fields);
+
+  for (size_t r = 0; r < num_rows; ++r) {
+    const std::string_view line = raw.StringAt(r);
+    SplitStringInto(line, options_.delimiter, &fields);
+    if (fields.size() != num_fields) {
       if (options_.strict) {
         return Status::InvalidArgument(
             "csv record has " + std::to_string(fields.size()) +
-            " fields, schema expects " + std::to_string(schema.num_fields()));
+            " fields, schema expects " + std::to_string(num_fields));
       }
       malformed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    Row parsed;
-    parsed.reserve(fields.size());
     bool bad = false;
-    for (size_t i = 0; i < fields.size() && !bad; ++i) {
+    for (size_t i = 0; i < num_fields && !bad; ++i) {
+      ParsedCell& cell = cells[i];
+      cell.null = false;
       const std::string_view text = StripWhitespace(fields[i]);
       if (text.empty()) {
-        parsed.push_back(Value::Null());
+        cell.null = true;
         continue;
       }
       switch (schema.field(i).type) {
-        case ValueType::kDouble: {
-          Result<double> v = ParseDouble(text);
-          if (v.ok()) {
-            parsed.push_back(Value::Double(*v));
-          } else {
-            bad = true;
-          }
+        case ValueType::kDouble:
+          if (!ParseDoubleFast(text, &cell.d)) bad = true;
           break;
-        }
-        case ValueType::kInt64: {
-          Result<int64_t> v = ParseInt64(text);
-          if (v.ok()) {
-            parsed.push_back(Value::Int64(*v));
-          } else {
-            bad = true;
-          }
+        case ValueType::kInt64:
+          if (!ParseInt64Fast(text, &cell.i)) bad = true;
           break;
-        }
-        case ValueType::kTimestamp: {
-          Result<int64_t> v = ParseDateTime(text);
-          if (v.ok()) {
-            parsed.push_back(Value::Timestamp(*v));
-          } else {
-            bad = true;
-          }
+        case ValueType::kTimestamp:
+          if (!ParseDateTimeFast(text, &cell.i)) bad = true;
           break;
-        }
         case ValueType::kString:
-          parsed.push_back(Value::String(std::string(text)));
+          cell.s = text;
           break;
         case ValueType::kNull:
-          parsed.push_back(Value::Null());
+          cell.null = true;
           break;
       }
     }
     if (bad) {
       if (options_.strict) {
-        return Status::InvalidArgument("malformed csv record: '" + line + "'");
+        return Status::InvalidArgument("malformed csv record: '" +
+                                       std::string(line) + "'");
       }
       malformed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    out.rows.push_back(std::move(parsed));
+    for (size_t i = 0; i < num_fields; ++i) {
+      Column& column = out.mutable_column(i);
+      const ParsedCell& cell = cells[i];
+      if (cell.null) {
+        column.AppendNull();
+        continue;
+      }
+      switch (schema.field(i).type) {
+        case ValueType::kDouble:
+          column.AppendDouble(cell.d);
+          break;
+        case ValueType::kInt64:
+        case ValueType::kTimestamp:
+          column.AppendInt64(cell.i);
+          break;
+        case ValueType::kString:
+          column.AppendString(cell.s);
+          break;
+        case ValueType::kNull:
+          break;
+      }
+    }
+    CDPIPE_CHECK(out.CommitAppendedRow());
   }
   return DataBatch(std::move(out));
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/string_util.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 
@@ -29,18 +30,24 @@ Status MissingValueImputer::Update(const DataBatch& batch) {
   const auto& table = std::get<TableData>(batch);
   for (size_t c = 0; c < options_.columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(size_t col,
-                            table.schema->FieldIndex(options_.columns[c]));
+                            table.schema()->FieldIndex(options_.columns[c]));
+    const Column& column = table.column(col);
+    Result<NumericColumnView> view = NumericColumnView::Of(column, "");
+    if (!view.ok()) {
+      return Status::FailedPrecondition("cannot impute non-numeric column " +
+                                        options_.columns[c]);
+    }
     RunningMean& rm = stats_[static_cast<uint32_t>(c)];
-    for (const Row& row : table.rows) {
-      const Value& v = row[col];
-      if (v.is_null()) continue;
-      Result<double> d = v.AsDouble();
-      if (!d.ok()) {
-        return Status::FailedPrecondition("cannot impute non-numeric column " +
-                                          options_.columns[c]);
+    const size_t rows = column.size();
+    if (!column.has_nulls()) {
+      for (size_t r = 0; r < rows; ++r) rm.sum += (*view)[r];
+      rm.count += static_cast<int64_t>(rows);
+    } else {
+      for (size_t r = 0; r < rows; ++r) {
+        if (view->IsNull(r)) continue;
+        rm.count += 1;
+        rm.sum += (*view)[r];
       }
-      rm.count += 1;
-      rm.sum += *d;
     }
   }
   return Status::OK();
@@ -49,27 +56,58 @@ Status MissingValueImputer::Update(const DataBatch& batch) {
 Result<DataBatch> MissingValueImputer::Transform(const DataBatch& batch) const {
   if (const auto* features = std::get_if<FeatureData>(&batch)) {
     FeatureData out = *features;
-    for (SparseVector& x : out.features) {
-      x.TransformValues([this](uint32_t index, double value) {
-        return std::isnan(value) ? MeanForDimension(index) : value;
-      });
-    }
+    ImputeFeatures(&out);
     return DataBatch(std::move(out));
   }
-  const auto& table = std::get<TableData>(batch);
-  TableData out = table;
+  TableData out = std::get<TableData>(batch);
+  CDPIPE_RETURN_NOT_OK(ImputeTable(&out));
+  return DataBatch(std::move(out));
+}
+
+Result<DataBatch> MissingValueImputer::TransformOwned(DataBatch&& batch) const {
+  if (auto* features = std::get_if<FeatureData>(&batch)) {
+    ImputeFeatures(features);
+    return std::move(batch);
+  }
+  CDPIPE_RETURN_NOT_OK(ImputeTable(&std::get<TableData>(batch)));
+  return std::move(batch);
+}
+
+void MissingValueImputer::ImputeFeatures(FeatureData* features) const {
+  for (SparseVector& x : features->features) {
+    x.TransformValues([this](uint32_t index, double value) {
+      return std::isnan(value) ? MeanForDimension(index) : value;
+    });
+  }
+}
+
+Status MissingValueImputer::ImputeTable(TableData* table) const {
   for (size_t c = 0; c < options_.columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(size_t col,
-                            out.schema->FieldIndex(options_.columns[c]));
+                            table->schema()->FieldIndex(options_.columns[c]));
     auto it = stats_.find(static_cast<uint32_t>(c));
     const double fill = it != stats_.end()
                             ? it->second.Mean(options_.default_value)
                             : options_.default_value;
-    for (Row& row : out.rows) {
-      if (row[col].is_null()) row[col] = Value::Double(fill);
+    Column& column = table->mutable_column(col);
+    if (!column.has_nulls()) continue;
+    // The fill value is fractional in general, so integer columns widen to
+    // double first (same numeric result as the row path's Value::Double
+    // cells feeding AsDouble downstream).
+    if (column.type() != ValueType::kDouble) {
+      CDPIPE_RETURN_NOT_OK(table->PromoteColumnToDouble(col));
     }
+    Column& target = table->mutable_column(col);
+    std::vector<double>& cells = target.mutable_doubles();
+    for (size_t r = 0; r < cells.size(); ++r) {
+      if (target.IsNull(r)) {
+        cells[r] = fill;
+        target.ClearNull(r);
+      }
+    }
+    target.DropBitmapIfAllValid();
   }
-  return DataBatch(std::move(out));
+  return Status::OK();
 }
 
 void MissingValueImputer::Reset() { stats_.clear(); }

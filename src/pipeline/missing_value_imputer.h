@@ -38,6 +38,7 @@ class MissingValueImputer : public PipelineComponent {
 
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;
@@ -55,6 +56,11 @@ class MissingValueImputer : public PipelineComponent {
       return count > 0 ? sum / static_cast<double>(count) : fallback;
     }
   };
+
+  /// Shared kernel for Transform/TransformOwned: fills nulls in `*table`
+  /// in place, widening integer columns to double first.
+  Status ImputeTable(TableData* table) const;
+  void ImputeFeatures(FeatureData* features) const;
 
   Options options_;
   /// Feature mode: keyed by feature index.  Table mode: keyed by the index

@@ -7,6 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 
@@ -30,31 +31,35 @@ Status OneHotEncoder::Update(const DataBatch& batch) {
   }
   for (size_t c = 0; c < options_.categorical_columns.size(); ++c) {
     const CategoricalColumn& col = options_.categorical_columns[c];
-    CDPIPE_ASSIGN_OR_RETURN(size_t idx, table->schema->FieldIndex(col.name));
+    CDPIPE_ASSIGN_OR_RETURN(size_t idx, table->schema()->FieldIndex(col.name));
+    const Column& column = table->column(idx);
     auto& dict = dictionaries_[c];
-    for (const Row& row : table->rows) {
-      const Value& v = row[idx];
-      if (v.is_null()) continue;
-      if (v.type() != ValueType::kString) {
+    const size_t rows = column.size();
+    for (size_t r = 0; r < rows; ++r) {
+      if (column.IsNull(r)) continue;
+      if (column.type() != ValueType::kString) {
         return Status::FailedPrecondition("categorical column " + col.name +
                                           " must be a string column");
       }
       if (dict.size() < col.max_cardinality) {
-        dict.emplace(v.string_value(), static_cast<uint32_t>(dict.size()));
+        const std::string_view value = column.StringAt(r);
+        if (dict.find(value) == dict.end()) {
+          dict.emplace(std::string(value), static_cast<uint32_t>(dict.size()));
+        }
       }
     }
   }
   return Status::OK();
 }
 
-uint32_t OneHotEncoder::SlotOf(size_t c, const std::string& value) const {
+uint32_t OneHotEncoder::SlotOf(size_t c, std::string_view value) const {
   const auto& dict = dictionaries_[c];
   auto it = dict.find(value);
   if (it != dict.end()) return it->second;
   // Unknown value (dictionary full or value never folded in): hash into the
   // block so the category still contributes a stable feature.
   const uint32_t capacity = options_.categorical_columns[c].max_cardinality;
-  return static_cast<uint32_t>(std::hash<std::string>{}(value) % capacity);
+  return static_cast<uint32_t>(std::hash<std::string_view>{}(value) % capacity);
 }
 
 Result<DataBatch> OneHotEncoder::Transform(const DataBatch& batch) const {
@@ -64,47 +69,63 @@ Result<DataBatch> OneHotEncoder::Transform(const DataBatch& batch) const {
         "one_hot_encoder expects a table batch");
   }
   // Resolve all column positions once per batch.
-  std::vector<size_t> numeric_idx(options_.numeric_columns.size());
+  std::vector<const Column*> numeric_cols(options_.numeric_columns.size());
+  std::vector<NumericColumnView> numeric_views;
+  numeric_views.reserve(options_.numeric_columns.size());
   for (size_t i = 0; i < options_.numeric_columns.size(); ++i) {
     CDPIPE_ASSIGN_OR_RETURN(
-        numeric_idx[i], table->schema->FieldIndex(options_.numeric_columns[i]));
+        size_t idx, table->schema()->FieldIndex(options_.numeric_columns[i]));
+    numeric_cols[i] = &table->column(idx);
+    CDPIPE_ASSIGN_OR_RETURN(
+        NumericColumnView view,
+        NumericColumnView::Of(*numeric_cols[i], options_.numeric_columns[i]));
+    numeric_views.push_back(view);
   }
-  std::vector<size_t> cat_idx(options_.categorical_columns.size());
+  std::vector<const Column*> cat_cols(options_.categorical_columns.size());
   for (size_t c = 0; c < options_.categorical_columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(
-        cat_idx[c],
-        table->schema->FieldIndex(options_.categorical_columns[c].name));
+        size_t idx,
+        table->schema()->FieldIndex(options_.categorical_columns[c].name));
+    cat_cols[c] = &table->column(idx);
   }
   CDPIPE_ASSIGN_OR_RETURN(size_t label_idx,
-                          table->schema->FieldIndex(options_.label_column));
+                          table->schema()->FieldIndex(options_.label_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView labels,
+      NumericColumnView::Of(table->column(label_idx), options_.label_column));
 
+  const size_t num_rows = table->num_rows();
   FeatureData out;
   out.dim = output_dim_;
-  out.features.reserve(table->rows.size());
-  out.labels.reserve(table->rows.size());
-  for (const Row& row : table->rows) {
-    CDPIPE_ASSIGN_OR_RETURN(double label, row[label_idx].AsDouble());
-    std::vector<std::pair<uint32_t, double>> entries;
-    entries.reserve(numeric_idx.size() + cat_idx.size());
-    for (size_t i = 0; i < numeric_idx.size(); ++i) {
-      const Value& v = row[numeric_idx[i]];
-      if (v.is_null()) continue;  // treated as 0 (impute upstream)
-      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+  out.features.reserve(num_rows);
+  out.labels.reserve(num_rows);
+  std::vector<std::pair<uint32_t, double>> entries;
+  entries.reserve(numeric_views.size() + cat_cols.size());
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (labels.IsNull(r)) {
+      return Status::FailedPrecondition("cannot widen null to double: " +
+                                        options_.label_column);
+    }
+    const double label = labels[r];
+    entries.clear();
+    for (size_t i = 0; i < numeric_views.size(); ++i) {
+      if (numeric_views[i].IsNull(r)) continue;  // treated as 0 (impute upstream)
+      const double d = numeric_views[i][r];
       if (d != 0.0) entries.emplace_back(static_cast<uint32_t>(i), d);
     }
-    for (size_t c = 0; c < cat_idx.size(); ++c) {
-      const Value& v = row[cat_idx[c]];
-      if (v.is_null()) continue;
-      if (v.type() != ValueType::kString) {
+    for (size_t c = 0; c < cat_cols.size(); ++c) {
+      const Column& column = *cat_cols[c];
+      if (column.IsNull(r)) continue;
+      if (column.type() != ValueType::kString) {
         return Status::FailedPrecondition(
             "categorical column " + options_.categorical_columns[c].name +
             " must be a string column");
       }
-      entries.emplace_back(block_offsets_[c] + SlotOf(c, v.string_value()),
+      entries.emplace_back(block_offsets_[c] + SlotOf(c, column.StringAt(r)),
                            1.0);
     }
     out.features.push_back(
-        SparseVector::FromUnsorted(output_dim_, std::move(entries)));
+        SparseVector::FromUnsortedInto(output_dim_, &entries));
     out.labels.push_back(label);
   }
   return DataBatch(std::move(out));

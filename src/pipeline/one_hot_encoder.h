@@ -1,8 +1,10 @@
 #ifndef CDPIPE_PIPELINE_ONE_HOT_ENCODER_H_
 #define CDPIPE_PIPELINE_ONE_HOT_ENCODER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -59,14 +61,27 @@ class OneHotEncoder : public PipelineComponent {
   size_t CardinalityOf(size_t c) const { return dictionaries_[c].size(); }
 
  private:
+  /// Transparent hash so arena-backed `string_view` cells can probe the
+  /// dictionaries without materializing a std::string per lookup.
+  /// std::hash<string_view> and std::hash<string> agree on equal bytes, so
+  /// the hashed-slot fallback is unchanged from the std::string days.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view v) const {
+      return std::hash<std::string_view>{}(v);
+    }
+  };
+  using Dictionary =
+      std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>;
+
   /// Index of `value` within column c's block: dictionary slot when known,
   /// hashed slot when the value is unknown or the dictionary is full.
-  uint32_t SlotOf(size_t c, const std::string& value) const;
+  uint32_t SlotOf(size_t c, std::string_view value) const;
 
   Options options_;
   uint32_t output_dim_ = 0;
   std::vector<uint32_t> block_offsets_;
-  std::vector<std::unordered_map<std::string, uint32_t>> dictionaries_;
+  std::vector<Dictionary> dictionaries_;
 };
 
 }  // namespace cdpipe

@@ -1,8 +1,10 @@
 #include "src/pipeline/pipeline.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/stopwatch.h"
+#include "src/engine/execution_engine.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -12,6 +14,26 @@ namespace {
 obs::Histogram* ComponentHistogram(const std::string& component_name) {
   return obs::MetricsRegistry::Global().GetHistogram(
       "pipeline.component." + component_name + ".transform_seconds");
+}
+
+/// Rows per transform shard / maximum shard fan-out for the parallel pure
+/// path.  As with the gradient shards in linear_model.cc, the shard count
+/// is a function of the row count ONLY (never the worker count) and shard
+/// outputs are concatenated in ascending shard order, so serial and
+/// parallel runs produce bit-identical features.
+constexpr size_t kMinRowsPerTransformShard = 256;
+constexpr size_t kMaxTransformShards = 64;
+
+size_t NumTransformShards(size_t rows) {
+  return std::clamp(rows / kMinRowsPerTransformShard, size_t{1},
+                    kMaxTransformShards);
+}
+
+/// The pipeline's entry schema: a single string column named "raw".
+const std::shared_ptr<const Schema>& RawSchema() {
+  static const std::shared_ptr<const Schema> kRawSchema =
+      std::move(Schema::Make({Field{"raw", ValueType::kString}})).ValueOrDie();
+  return kRawSchema;
 }
 
 }  // namespace
@@ -52,15 +74,14 @@ Status Pipeline::AddComponent(std::unique_ptr<PipelineComponent> component) {
 }
 
 TableData Pipeline::WrapRaw(const RawChunk& chunk) {
-  static const std::shared_ptr<const Schema> kRawSchema =
-      std::move(Schema::Make({Field{"raw", ValueType::kString}})).ValueOrDie();
-  TableData table;
-  table.schema = kRawSchema;
-  table.rows.reserve(chunk.records.size());
+  Column raw(ValueType::kString);
   for (const std::string& record : chunk.records) {
-    table.rows.push_back(Row{Value::String(record)});
+    raw.AppendBorrowedString(record);
   }
-  return table;
+  std::vector<Column> columns;
+  columns.push_back(std::move(raw));
+  return std::move(TableData::Make(RawSchema(), std::move(columns)))
+      .ValueOrDie();
 }
 
 Result<FeatureData> Pipeline::UpdateAndTransform(const RawChunk& chunk,
@@ -75,7 +96,20 @@ Result<FeatureData> Pipeline::UpdateAndTransform(const RawChunk& chunk,
       CDPIPE_RETURN_NOT_OK(component->Update(batch));
     }
     CountScan(rows_scanned, batch);  // the transform scan
-    CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+    CDPIPE_ASSIGN_OR_RETURN(batch, component->TransformOwned(std::move(batch)));
+    component_histograms_[i]->Observe(watch.ElapsedSeconds());
+  }
+  return FinishBatch(std::move(batch), ToString());
+}
+
+Result<FeatureData> Pipeline::RunTransform(DataBatch batch,
+                                           size_t* rows_scanned) const {
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const auto& component = components_[i];
+    CDPIPE_TRACE_SPAN(component->name(), "pipeline");
+    Stopwatch watch;
+    CountScan(rows_scanned, batch);
+    CDPIPE_ASSIGN_OR_RETURN(batch, component->TransformOwned(std::move(batch)));
     component_histograms_[i]->Observe(watch.ElapsedSeconds());
   }
   return FinishBatch(std::move(batch), ToString());
@@ -83,16 +117,61 @@ Result<FeatureData> Pipeline::UpdateAndTransform(const RawChunk& chunk,
 
 Result<FeatureData> Pipeline::Transform(const RawChunk& chunk,
                                         size_t* rows_scanned) const {
-  DataBatch batch = WrapRaw(chunk);
-  for (size_t i = 0; i < components_.size(); ++i) {
-    const auto& component = components_[i];
-    CDPIPE_TRACE_SPAN(component->name(), "pipeline");
-    Stopwatch watch;
-    CountScan(rows_scanned, batch);
-    CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
-    component_histograms_[i]->Observe(watch.ElapsedSeconds());
+  return RunTransform(WrapRaw(chunk), rows_scanned);
+}
+
+Result<FeatureData> Pipeline::Transform(const RawChunk& chunk,
+                                        ExecutionEngine* engine,
+                                        size_t* rows_scanned) const {
+  const size_t rows = chunk.records.size();
+  const size_t num_shards = NumTransformShards(rows);
+  if (engine == nullptr || engine->num_threads() <= 1 || num_shards <= 1) {
+    return Transform(chunk, rows_scanned);
   }
-  return FinishBatch(std::move(batch), ToString());
+  // Shard boundaries depend on the row count only: the first `remainder`
+  // shards take one extra row.
+  const size_t base = rows / num_shards;
+  const size_t remainder = rows % num_shards;
+  struct ShardOutput {
+    FeatureData features;
+    size_t scanned = 0;
+  };
+  std::vector<ShardOutput> shards(num_shards);
+  CDPIPE_RETURN_NOT_OK(engine->ParallelFor(num_shards, [&](size_t s) -> Status {
+    const size_t begin = s * base + std::min(s, remainder);
+    const size_t end = begin + base + (s < remainder ? 1 : 0);
+    Column raw(ValueType::kString);
+    for (size_t r = begin; r < end; ++r) {
+      raw.AppendBorrowedString(chunk.records[r]);
+    }
+    std::vector<Column> columns;
+    columns.push_back(std::move(raw));
+    CDPIPE_ASSIGN_OR_RETURN(TableData table,
+                            TableData::Make(RawSchema(), std::move(columns)));
+    ShardOutput& out = shards[s];
+    out.scanned = 0;  // overwritten wholesale: the task is retry-idempotent
+    CDPIPE_ASSIGN_OR_RETURN(
+        out.features, RunTransform(DataBatch(std::move(table)), &out.scanned));
+    return Status::OK();
+  }));
+  // Fixed-order merge: concatenate shard outputs in ascending shard order.
+  FeatureData merged;
+  merged.dim = shards.empty() ? 0 : shards[0].features.dim;
+  size_t total = 0;
+  for (const ShardOutput& s : shards) total += s.features.num_rows();
+  merged.features.reserve(total);
+  merged.labels.reserve(total);
+  for (ShardOutput& s : shards) {
+    if (s.features.dim != merged.dim) {
+      return Status::Internal("transform shards disagree on feature dim");
+    }
+    std::move(s.features.features.begin(), s.features.features.end(),
+              std::back_inserter(merged.features));
+    merged.labels.insert(merged.labels.end(), s.features.labels.begin(),
+                         s.features.labels.end());
+    if (rows_scanned != nullptr) *rows_scanned += s.scanned;
+  }
+  return merged;
 }
 
 Result<FeatureData> Pipeline::TransformRecomputingStatistics(
@@ -110,10 +189,12 @@ Result<FeatureData> Pipeline::TransformRecomputingStatistics(
       CountScan(rows_scanned, batch);  // the recomputation scan
       CDPIPE_RETURN_NOT_OK(scratch->Update(batch));
       CountScan(rows_scanned, batch);
-      CDPIPE_ASSIGN_OR_RETURN(batch, scratch->Transform(batch));
+      CDPIPE_ASSIGN_OR_RETURN(batch,
+                              scratch->TransformOwned(std::move(batch)));
     } else {
       CountScan(rows_scanned, batch);
-      CDPIPE_ASSIGN_OR_RETURN(batch, component->Transform(batch));
+      CDPIPE_ASSIGN_OR_RETURN(batch,
+                              component->TransformOwned(std::move(batch)));
     }
     component_histograms_[i]->Observe(watch.ElapsedSeconds());
   }

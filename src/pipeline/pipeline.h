@@ -11,6 +11,8 @@
 
 namespace cdpipe {
 
+class ExecutionEngine;
+
 namespace obs {
 class Histogram;
 }  // namespace obs
@@ -48,8 +50,12 @@ class Pipeline {
   const PipelineComponent& component(size_t i) const { return *components_[i]; }
 
   /// Wraps a raw chunk into the pipeline's entry representation: a table
-  /// with a single string column named "raw".
+  /// with a single string column named "raw".  The table BORROWS every
+  /// record (zero-copy string views), so it is only valid while `chunk` is
+  /// alive and unmodified; the parser copies whatever it keeps.
   static TableData WrapRaw(const RawChunk& chunk);
+  /// Borrowing from a temporary would dangle immediately.
+  static TableData WrapRaw(RawChunk&&) = delete;
 
   /// Online path: Update then Transform through every component.  Output
   /// must be FeatureData (the pipeline must end in a vectorizing stage).
@@ -61,6 +67,18 @@ class Pipeline {
   /// Pure path: Transform only.  Used for prediction queries and dynamic
   /// re-materialization.
   Result<FeatureData> Transform(const RawChunk& chunk,
+                                size_t* rows_scanned = nullptr) const;
+
+  /// Pure path, parallelized across row ranges of `chunk` on `engine`.
+  /// Statistics are frozen on this path and every component transforms rows
+  /// independently, so the chunk is split into shards whose count is a
+  /// function of the row count ONLY (mirroring the sharded gradient path in
+  /// linear_model.cc) and the per-shard outputs are concatenated in shard
+  /// order — the result is bit-identical to the serial overload for any
+  /// engine thread count.  Must not be called from inside an engine task
+  /// (the pool does not nest).  Falls back to the serial overload for small
+  /// chunks or a single-threaded engine.
+  Result<FeatureData> Transform(const RawChunk& chunk, ExecutionEngine* engine,
                                 size_t* rows_scanned = nullptr) const;
 
   /// The NoOptimization baseline (§5.4): processes the chunk as if online
@@ -86,6 +104,11 @@ class Pipeline {
   Status LoadState(Deserializer* in);
 
  private:
+  /// Statistics-frozen transform of an already-wrapped batch: drives every
+  /// component through TransformOwned.  Shared by the serial and sharded
+  /// pure paths.
+  Result<FeatureData> RunTransform(DataBatch batch, size_t* rows_scanned) const;
+
   std::vector<std::unique_ptr<PipelineComponent>> components_;
   /// Parallel to components_: per-component transform-latency histograms
   /// ("pipeline.component.<Name>.transform_seconds") in the global metrics

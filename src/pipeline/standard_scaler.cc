@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/common/string_util.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 namespace {
@@ -35,20 +37,31 @@ Status StandardScaler::Update(const DataBatch& batch) {
   total_rows_ += static_cast<int64_t>(table.num_rows());
   for (size_t c = 0; c < options_.columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(size_t col,
-                            table.schema->FieldIndex(options_.columns[c]));
+                            table.schema()->FieldIndex(options_.columns[c]));
+    const Column& column = table.column(col);
+    Result<NumericColumnView> view = NumericColumnView::Of(column, "");
+    if (!view.ok()) {
+      return Status::FailedPrecondition("cannot scale non-numeric column " +
+                                        options_.columns[c]);
+    }
     Moments& m = stats_[static_cast<uint32_t>(c)];
     int64_t& count = column_counts_[static_cast<uint32_t>(c)];
-    for (const Row& row : table.rows) {
-      const Value& v = row[col];
-      if (v.is_null()) continue;
-      Result<double> d = v.AsDouble();
-      if (!d.ok()) {
-        return Status::FailedPrecondition("cannot scale non-numeric column " +
-                                          options_.columns[c]);
+    const size_t rows = column.size();
+    if (!column.has_nulls()) {
+      for (size_t r = 0; r < rows; ++r) {
+        const double d = (*view)[r];
+        m.sum += d;
+        m.sum_squares += d * d;
       }
-      m.sum += *d;
-      m.sum_squares += *d * *d;
-      ++count;
+      count += static_cast<int64_t>(rows);
+    } else {
+      for (size_t r = 0; r < rows; ++r) {
+        if (view->IsNull(r)) continue;
+        const double d = (*view)[r];
+        m.sum += d;
+        m.sum_squares += d * d;
+        ++count;
+      }
     }
   }
   return Status::OK();
@@ -88,33 +101,96 @@ double StandardScaler::StdDevOf(uint32_t key) const {
 Result<DataBatch> StandardScaler::Transform(const DataBatch& batch) const {
   if (const auto* features = std::get_if<FeatureData>(&batch)) {
     FeatureData out = *features;
-    for (SparseVector& x : out.features) {
-      x.TransformValues([this](uint32_t index, double value) {
-        const double sd = StdDevOf(index);
-        const double centered =
-            options_.with_mean ? value - MeanOf(index) : value;
-        return sd > kMinStdDev ? centered / sd : centered;
-      });
-    }
+    ScaleFeatures(&out);
     return DataBatch(std::move(out));
   }
-  const auto& table = std::get<TableData>(batch);
-  TableData out = table;
+  TableData out = std::get<TableData>(batch);
+  CDPIPE_RETURN_NOT_OK(ScaleTable(&out));
+  return DataBatch(std::move(out));
+}
+
+Result<DataBatch> StandardScaler::TransformOwned(DataBatch&& batch) const {
+  if (auto* features = std::get_if<FeatureData>(&batch)) {
+    ScaleFeatures(features);
+    return std::move(batch);
+  }
+  CDPIPE_RETURN_NOT_OK(ScaleTable(&std::get<TableData>(batch)));
+  return std::move(batch);
+}
+
+void StandardScaler::ScaleFeatures(FeatureData* features) const {
+  const uint32_t dim = features->dim;
+  size_t total_nnz = 0;
+  for (const SparseVector& x : features->features) total_nnz += x.nnz();
+  // Per-batch memo of (mean, stddev) per feature index: indices repeat
+  // heavily across rows, and the per-value map lookups plus sqrt dominate
+  // the scaling cost.  The per-value arithmetic is unchanged, so outputs
+  // are bit-identical to the unmemoized path.
+  if (dim <= (1u << 20) && total_nnz >= dim / 16) {
+    std::vector<uint8_t> seen(dim, 0);
+    std::unique_ptr<double[]> mean(new double[dim]);
+    std::unique_ptr<double[]> sd(new double[dim]);
+    for (SparseVector& x : features->features) {
+      x.TransformValues([&](uint32_t index, double value) {
+        if (!seen[index]) {
+          seen[index] = 1;
+          mean[index] = options_.with_mean ? MeanOf(index) : 0.0;
+          sd[index] = StdDevOf(index);
+        }
+        const double centered =
+            options_.with_mean ? value - mean[index] : value;
+        return sd[index] > kMinStdDev ? centered / sd[index] : centered;
+      });
+    }
+    return;
+  }
+  for (SparseVector& x : features->features) {
+    x.TransformValues([this](uint32_t index, double value) {
+      const double sd = StdDevOf(index);
+      const double centered = options_.with_mean ? value - MeanOf(index) : value;
+      return sd > kMinStdDev ? centered / sd : centered;
+    });
+  }
+}
+
+Status StandardScaler::ScaleTable(TableData* table) const {
   for (size_t c = 0; c < options_.columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(size_t col,
-                            out.schema->FieldIndex(options_.columns[c]));
+                            table->schema()->FieldIndex(options_.columns[c]));
     const uint32_t key = static_cast<uint32_t>(c);
     const double mean = MeanOf(key);
     const double sd = StdDevOf(key);
-    for (Row& row : out.rows) {
-      Value& v = row[col];
-      if (v.is_null()) continue;
-      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
-      const double scaled = sd > kMinStdDev ? (d - mean) / sd : d - mean;
-      v = Value::Double(scaled);
+    // Scaled cells are fractional, so integer columns widen to double —
+    // the same static_cast the row path applied through Value::AsDouble.
+    if (table->column(col).type() != ValueType::kDouble) {
+      CDPIPE_RETURN_NOT_OK(table->PromoteColumnToDouble(col));
+    }
+    Column& column = table->mutable_column(col);
+    std::vector<double>& cells = column.mutable_doubles();
+    const size_t rows = cells.size();
+    // Division is kept per-cell ((d - mean) / sd, not a precomputed
+    // reciprocal) so results are bit-identical to the row path.
+    if (sd > kMinStdDev) {
+      if (!column.has_nulls()) {
+        for (size_t r = 0; r < rows; ++r) cells[r] = (cells[r] - mean) / sd;
+      } else {
+        for (size_t r = 0; r < rows; ++r) {
+          if (column.IsNull(r)) continue;
+          cells[r] = (cells[r] - mean) / sd;
+        }
+      }
+    } else {
+      if (!column.has_nulls()) {
+        for (size_t r = 0; r < rows; ++r) cells[r] = cells[r] - mean;
+      } else {
+        for (size_t r = 0; r < rows; ++r) {
+          if (column.IsNull(r)) continue;
+          cells[r] = cells[r] - mean;
+        }
+      }
     }
   }
-  return DataBatch(std::move(out));
+  return Status::OK();
 }
 
 void StandardScaler::Reset() {

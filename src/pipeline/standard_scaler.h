@@ -46,6 +46,7 @@ class StandardScaler : public PipelineComponent {
 
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;
@@ -65,6 +66,11 @@ class StandardScaler : public PipelineComponent {
   };
 
   double VarianceOf(uint32_t key) const;
+
+  /// Shared kernel for Transform/TransformOwned: scales the configured
+  /// columns of `*table` in place, widening integer columns to double first.
+  Status ScaleTable(TableData* table) const;
+  void ScaleFeatures(FeatureData* features) const;
 
   Options options_;
   /// Total rows seen (feature mode denominators include implicit zeros;

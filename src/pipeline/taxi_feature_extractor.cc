@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/status.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 namespace {
@@ -46,7 +47,7 @@ Result<DataBatch> TaxiFeatureExtractor::Transform(
     return Status::FailedPrecondition(
         "taxi_feature_extractor expects a table batch");
   }
-  const Schema& schema = *table->schema;
+  const Schema& schema = *table->schema();
   CDPIPE_ASSIGN_OR_RETURN(size_t pickup_dt,
                           schema.FieldIndex(options_.pickup_datetime_column));
   CDPIPE_ASSIGN_OR_RETURN(size_t dropoff_dt,
@@ -62,7 +63,7 @@ Result<DataBatch> TaxiFeatureExtractor::Transform(
 
   CDPIPE_ASSIGN_OR_RETURN(
       auto schema1,
-      table->schema->AddField(Field{"duration_s", ValueType::kDouble}));
+      table->schema()->AddField(Field{"duration_s", ValueType::kDouble}));
   CDPIPE_ASSIGN_OR_RETURN(
       auto schema2, schema1->AddField(Field{"haversine_km", ValueType::kDouble}));
   CDPIPE_ASSIGN_OR_RETURN(
@@ -80,45 +81,99 @@ Result<DataBatch> TaxiFeatureExtractor::Transform(
       auto out_schema,
       schema5->AddField(Field{"log_duration", ValueType::kDouble}));
 
-  TableData out;
-  out.schema = out_schema;
-  out.rows.reserve(table->rows.size());
-  for (const Row& row : table->rows) {
-    const Value& pu = row[pickup_dt];
-    const Value& doff = row[dropoff_dt];
-    if (pu.is_null() || doff.is_null() || row[plat].is_null() ||
-        row[plon].is_null() || row[dlat].is_null() || row[dlon].is_null()) {
-      // A trip without both endpoints cannot yield features or a label; the
-      // anomaly filter downstream would drop it anyway.
-      continue;
+  const size_t num_rows = table->num_rows();
+  const Column& pu_col = table->column(pickup_dt);
+  const Column& doff_col = table->column(dropoff_dt);
+  if (pu_col.type() == ValueType::kDouble ||
+      doff_col.type() == ValueType::kDouble ||
+      pu_col.type() == ValueType::kString ||
+      doff_col.type() == ValueType::kString) {
+    return Status::FailedPrecondition(
+        "taxi_feature_extractor expects integer datetime columns");
+  }
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView plat_v,
+      NumericColumnView::Of(table->column(plat), options_.pickup_lat_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView plon_v,
+      NumericColumnView::Of(table->column(plon), options_.pickup_lon_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView dlat_v,
+      NumericColumnView::Of(table->column(dlat), options_.dropoff_lat_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView dlon_v,
+      NumericColumnView::Of(table->column(dlon), options_.dropoff_lon_column));
+
+  // A trip without both endpoints cannot yield features or a label; the
+  // anomaly filter downstream would drop it anyway.
+  std::vector<uint8_t> keep(num_rows, 1);
+  size_t kept = num_rows;
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (pu_col.IsNull(r) || doff_col.IsNull(r) || plat_v.IsNull(r) ||
+        plon_v.IsNull(r) || dlat_v.IsNull(r) || dlon_v.IsNull(r)) {
+      keep[r] = 0;
+      --kept;
     }
-    const double duration =
-        static_cast<double>(doff.int64_value() - pu.int64_value());
-    CDPIPE_ASSIGN_OR_RETURN(double lat1, row[plat].AsDouble());
-    CDPIPE_ASSIGN_OR_RETURN(double lon1, row[plon].AsDouble());
-    CDPIPE_ASSIGN_OR_RETURN(double lat2, row[dlat].AsDouble());
-    CDPIPE_ASSIGN_OR_RETURN(double lon2, row[dlon].AsDouble());
-    const double distance = HaversineKm(lat1, lon1, lat2, lon2);
-    const double bearing = BearingDegrees(lat1, lon1, lat2, lon2);
-    const int64_t pickup_seconds = pu.int64_value();
+  }
+
+  TableData base = kept == num_rows ? *table : table->Filter(keep);
+
+  // Derived columns, computed in one fused pass over the filtered typed
+  // arrays (the arithmetic matches the row path expression for expression).
+  const std::vector<int64_t>& pu = base.column(pickup_dt).ints();
+  const std::vector<int64_t>& doff = base.column(dropoff_dt).ints();
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView lat1_v,
+      NumericColumnView::Of(base.column(plat), options_.pickup_lat_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView lon1_v,
+      NumericColumnView::Of(base.column(plon), options_.pickup_lon_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView lat2_v,
+      NumericColumnView::Of(base.column(dlat), options_.dropoff_lat_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView lon2_v,
+      NumericColumnView::Of(base.column(dlon), options_.dropoff_lon_column));
+
+  std::vector<double> duration_c(kept), distance_c(kept), bearing_c(kept),
+      hour_c(kept), hour_sin_c(kept), hour_cos_c(kept), weekday_c(kept),
+      log_duration_c(kept);
+  for (size_t r = 0; r < kept; ++r) {
+    const double duration = static_cast<double>(doff[r] - pu[r]);
+    const double distance =
+        HaversineKm(lat1_v[r], lon1_v[r], lat2_v[r], lon2_v[r]);
+    const double bearing =
+        BearingDegrees(lat1_v[r], lon1_v[r], lat2_v[r], lon2_v[r]);
+    const int64_t pickup_seconds = pu[r];
     const double hour =
         static_cast<double>((pickup_seconds % 86400 + 86400) % 86400) / 3600.0;
     // 1970-01-01 was a Thursday; shift so 0 = Monday.
     const int64_t days = pickup_seconds / 86400;
     const double weekday = static_cast<double>(((days % 7) + 7 + 3) % 7);
-
-    Row extended = row;
-    extended.push_back(Value::Double(duration));
-    extended.push_back(Value::Double(distance));
-    extended.push_back(Value::Double(bearing));
-    extended.push_back(Value::Double(std::floor(hour)));
-    extended.push_back(Value::Double(std::sin(hour / 24.0 * 2.0 * M_PI)));
-    extended.push_back(Value::Double(std::cos(hour / 24.0 * 2.0 * M_PI)));
-    extended.push_back(Value::Double(weekday));
-    extended.push_back(
-        Value::Double(duration >= 0.0 ? std::log1p(duration) : 0.0));
-    out.rows.push_back(std::move(extended));
+    duration_c[r] = duration;
+    distance_c[r] = distance;
+    bearing_c[r] = bearing;
+    hour_c[r] = std::floor(hour);
+    hour_sin_c[r] = std::sin(hour / 24.0 * 2.0 * M_PI);
+    hour_cos_c[r] = std::cos(hour / 24.0 * 2.0 * M_PI);
+    weekday_c[r] = weekday;
+    log_duration_c[r] = duration >= 0.0 ? std::log1p(duration) : 0.0;
   }
+
+  std::vector<Column> out_columns;
+  out_columns.reserve(base.num_columns() + 8);
+  for (size_t c = 0; c < base.num_columns(); ++c) {
+    out_columns.push_back(std::move(base.mutable_column(c)));
+  }
+  for (std::vector<double>* cells :
+       {&duration_c, &distance_c, &bearing_c, &hour_c, &hour_sin_c,
+        &hour_cos_c, &weekday_c, &log_duration_c}) {
+    Column column(ValueType::kDouble);
+    for (double v : *cells) column.AppendDouble(v);
+    out_columns.push_back(std::move(column));
+  }
+  CDPIPE_ASSIGN_OR_RETURN(
+      TableData out, TableData::Make(out_schema, std::move(out_columns)));
   return DataBatch(std::move(out));
 }
 

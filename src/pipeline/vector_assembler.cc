@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 
@@ -18,32 +19,45 @@ Result<DataBatch> VectorAssembler::Transform(const DataBatch& batch) const {
     return Status::FailedPrecondition(
         "vector_assembler expects a table batch");
   }
-  std::vector<size_t> columns(options_.feature_columns.size());
+  std::vector<NumericColumnView> views;
+  views.reserve(options_.feature_columns.size());
   for (size_t i = 0; i < options_.feature_columns.size(); ++i) {
     CDPIPE_ASSIGN_OR_RETURN(
-        columns[i], table->schema->FieldIndex(options_.feature_columns[i]));
+        size_t idx, table->schema()->FieldIndex(options_.feature_columns[i]));
+    CDPIPE_ASSIGN_OR_RETURN(NumericColumnView view,
+                            NumericColumnView::Of(table->column(idx),
+                                                  options_.feature_columns[i]));
+    views.push_back(view);
   }
   CDPIPE_ASSIGN_OR_RETURN(size_t label_idx,
-                          table->schema->FieldIndex(options_.label_column));
+                          table->schema()->FieldIndex(options_.label_column));
+  CDPIPE_ASSIGN_OR_RETURN(
+      NumericColumnView labels,
+      NumericColumnView::Of(table->column(label_idx), options_.label_column));
 
+  const size_t num_rows = table->num_rows();
   FeatureData out;
   out.dim = output_dim();
-  out.features.reserve(table->rows.size());
-  out.labels.reserve(table->rows.size());
-  for (const Row& row : table->rows) {
-    CDPIPE_ASSIGN_OR_RETURN(double label, row[label_idx].AsDouble());
+  out.features.reserve(num_rows);
+  out.labels.reserve(num_rows);
+  const size_t num_cols = views.size();
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (labels.IsNull(r)) {
+      return Status::FailedPrecondition("cannot widen null to double: " +
+                                        options_.label_column);
+    }
     SparseVector x(out.dim);
-    for (size_t i = 0; i < columns.size(); ++i) {
-      const Value& v = row[columns[i]];
-      if (v.is_null()) continue;  // null => 0 (impute upstream if undesired)
-      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    x.Reserve(num_cols + (options_.add_intercept ? 1 : 0));
+    for (size_t i = 0; i < num_cols; ++i) {
+      if (views[i].IsNull(r)) continue;  // null => 0 (impute upstream)
+      const double d = views[i][r];
       if (d != 0.0) x.PushBack(static_cast<uint32_t>(i), d);
     }
     if (options_.add_intercept) {
-      x.PushBack(static_cast<uint32_t>(columns.size()), 1.0);
+      x.PushBack(static_cast<uint32_t>(num_cols), 1.0);
     }
     out.features.push_back(std::move(x));
-    out.labels.push_back(label);
+    out.labels.push_back(labels[r]);
   }
   return DataBatch(std::move(out));
 }

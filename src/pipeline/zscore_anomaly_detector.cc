@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/dataframe/column_ops.h"
 
 namespace cdpipe {
 
@@ -22,17 +23,23 @@ Status ZScoreAnomalyDetector::Update(const DataBatch& batch) {
   }
   for (size_t c = 0; c < options_.columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(size_t col,
-                            table->schema->FieldIndex(options_.columns[c]));
-    for (const Row& row : table->rows) {
-      const Value& v = row[col];
-      if (v.is_null()) continue;
-      Result<double> d = v.AsDouble();
-      if (!d.ok()) {
-        return Status::FailedPrecondition(
-            "cannot compute z-scores for non-numeric column " +
-            options_.columns[c]);
+                            table->schema()->FieldIndex(options_.columns[c]));
+    const Column& column = table->column(col);
+    Result<NumericColumnView> view = NumericColumnView::Of(column, "");
+    if (!view.ok()) {
+      return Status::FailedPrecondition(
+          "cannot compute z-scores for non-numeric column " +
+          options_.columns[c]);
+    }
+    Welford& w = stats_[c];
+    const size_t rows = column.size();
+    if (!column.has_nulls()) {
+      for (size_t r = 0; r < rows; ++r) w.Add((*view)[r]);
+    } else {
+      for (size_t r = 0; r < rows; ++r) {
+        if (view->IsNull(r)) continue;
+        w.Add((*view)[r]);
       }
-      stats_[c].Add(*d);
     }
   }
   return Status::OK();
@@ -45,36 +52,60 @@ Result<DataBatch> ZScoreAnomalyDetector::Transform(
     return Status::FailedPrecondition(
         "zscore_anomaly_detector expects a table batch");
   }
+  CDPIPE_ASSIGN_OR_RETURN(std::vector<uint8_t> keep, KeepMask(*table));
+  size_t kept = 0;
+  for (uint8_t k : keep) kept += k != 0;
+  dropped_.fetch_add(table->num_rows() - kept, std::memory_order_relaxed);
+  if (kept == table->num_rows()) {
+    return DataBatch(*table);
+  }
+  return DataBatch(table->Filter(keep));
+}
+
+Result<DataBatch> ZScoreAnomalyDetector::TransformOwned(
+    DataBatch&& batch) const {
+  auto* table = std::get_if<TableData>(&batch);
+  if (table == nullptr) {
+    return Status::FailedPrecondition(
+        "zscore_anomaly_detector expects a table batch");
+  }
+  CDPIPE_ASSIGN_OR_RETURN(std::vector<uint8_t> keep, KeepMask(*table));
+  size_t kept = 0;
+  for (uint8_t k : keep) kept += k != 0;
+  dropped_.fetch_add(table->num_rows() - kept, std::memory_order_relaxed);
+  if (kept == table->num_rows()) {
+    return std::move(batch);
+  }
+  return DataBatch(table->Filter(keep));
+}
+
+Result<std::vector<uint8_t>> ZScoreAnomalyDetector::KeepMask(
+    const TableData& table) const {
   std::vector<size_t> column_indices(options_.columns.size());
   for (size_t c = 0; c < options_.columns.size(); ++c) {
     CDPIPE_ASSIGN_OR_RETURN(
-        column_indices[c], table->schema->FieldIndex(options_.columns[c]));
+        column_indices[c], table.schema()->FieldIndex(options_.columns[c]));
   }
-
-  TableData out;
-  out.schema = table->schema;
-  out.rows.reserve(table->rows.size());
-  size_t dropped = 0;
-  for (const Row& row : table->rows) {
-    bool anomalous = false;
-    for (size_t c = 0; c < column_indices.size() && !anomalous; ++c) {
-      const Welford& w = stats_[c];
-      if (w.count < options_.min_observations) continue;  // not calibrated
-      const Value& v = row[column_indices[c]];
-      if (v.is_null()) continue;
-      CDPIPE_ASSIGN_OR_RETURN(double d, v.AsDouble());
-      const double sd = std::sqrt(w.Variance());
-      if (sd <= 0.0) continue;  // constant column: nothing is anomalous
-      if (std::abs(d - w.mean) > options_.threshold * sd) anomalous = true;
-    }
-    if (anomalous) {
-      ++dropped;
-    } else {
-      out.rows.push_back(row);
+  // Column-major anomaly mask: each calibrated column flags its outliers
+  // over the contiguous cells; a row survives when no column flagged it.
+  const size_t num_rows = table.num_rows();
+  std::vector<uint8_t> keep(num_rows, 1);
+  for (size_t c = 0; c < column_indices.size(); ++c) {
+    const Welford& w = stats_[c];
+    if (w.count < options_.min_observations) continue;  // not calibrated
+    const Column& column = table.column(column_indices[c]);
+    CDPIPE_ASSIGN_OR_RETURN(
+        NumericColumnView view,
+        NumericColumnView::Of(column, options_.columns[c]));
+    const double sd = std::sqrt(w.Variance());
+    if (sd <= 0.0) continue;  // constant column: nothing is anomalous
+    const double limit = options_.threshold * sd;
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (view.IsNull(r)) continue;
+      if (std::abs(view[r] - w.mean) > limit) keep[r] = 0;
     }
   }
-  dropped_.fetch_add(dropped, std::memory_order_relaxed);
-  return DataBatch(std::move(out));
+  return keep;
 }
 
 void ZScoreAnomalyDetector::Reset() {

@@ -40,6 +40,7 @@ class ZScoreAnomalyDetector : public PipelineComponent {
 
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;
@@ -71,6 +72,10 @@ class ZScoreAnomalyDetector : public PipelineComponent {
       return count > 1 ? m2 / static_cast<double>(count) : 0.0;
     }
   };
+
+  /// Column-major outlier mask (1 = keep); shared by Transform and
+  /// TransformOwned.
+  Result<std::vector<uint8_t>> KeepMask(const TableData& table) const;
 
   Options options_;
   std::vector<Welford> stats_;  ///< parallel to options_.columns

@@ -1,5 +1,7 @@
 #include "src/common/string_util.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 namespace cdpipe {
@@ -111,6 +113,42 @@ TEST(DateTimeTest, RejectsMalformed) {
 TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
   EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(FastParseTest, AgreesWithResultVariants) {
+  // The fast variants must accept exactly the grammar of the Result-based
+  // ones and produce bit-identical values.
+  for (const char* text :
+       {"1.5", "+1", "-3.25", " 2.5 ", "1e-3", "nan", "-inf", "0.1234", "",
+        "x", "1.5x", "1 2", "++1", "0x10"}) {
+    double fast = 0.0;
+    const bool ok = ParseDoubleFast(text, &fast);
+    Result<double> slow = ParseDouble(text);
+    EXPECT_EQ(ok, slow.ok()) << "'" << text << "'";
+    if (ok && slow.ok()) {
+      EXPECT_EQ(std::memcmp(&fast, &*slow, sizeof(double)), 0)
+          << "'" << text << "'";
+    }
+  }
+  for (const char* text :
+       {"42", "+7", "-19", " 8 ", "", "x", "42x", "4.2", "99999999999999999999",
+        "007"}) {
+    int64_t fast = 0;
+    const bool ok = ParseInt64Fast(text, &fast);
+    Result<int64_t> slow = ParseInt64(text);
+    EXPECT_EQ(ok, slow.ok()) << "'" << text << "'";
+    if (ok && slow.ok()) EXPECT_EQ(fast, *slow) << "'" << text << "'";
+  }
+  for (const char* text :
+       {"2015-01-01 00:00:00", "2016-02-29 12:34:56", "2015-02-29 12:00:00",
+        "2015-13-01 00:00:00", "2015-01-01 24:00:00", "2015-01-01", "",
+        " 2015-06-15 08:30:00 "}) {
+    int64_t fast = 0;
+    const bool ok = ParseDateTimeFast(text, &fast);
+    Result<int64_t> slow = ParseDateTime(text);
+    EXPECT_EQ(ok, slow.ok()) << "'" << text << "'";
+    if (ok && slow.ok()) EXPECT_EQ(fast, *slow) << "'" << text << "'";
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/data/url_stream.h"
+#include "tests/testing/feature_data_test_util.h"
 
 namespace cdpipe {
 namespace {
@@ -18,7 +19,7 @@ TEST(MergeFeatureDataTest, ConcatenatesRows) {
   b.features.push_back(SparseVector::FromUnsorted(3, {{1, 3.0}}));
   b.labels = {-1.0, 1.0};
 
-  FeatureData merged = MergeFeatureData({&a, &b});
+  FeatureData merged = testing::MergeFeatureData({&a, &b});
   EXPECT_EQ(merged.num_rows(), 3u);
   EXPECT_EQ(merged.dim, 3u);
   EXPECT_TRUE(merged.Validate().ok());
@@ -35,14 +36,14 @@ TEST(MergeFeatureDataTest, WidensMixedDims) {
   wide.features.push_back(SparseVector::FromUnsorted(6, {{5, 1.0}}));
   wide.labels.push_back(-1.0);
 
-  FeatureData merged = MergeFeatureData({&narrow, &wide});
+  FeatureData merged = testing::MergeFeatureData({&narrow, &wide});
   EXPECT_EQ(merged.dim, 6u);
   EXPECT_TRUE(merged.Validate().ok());
   EXPECT_DOUBLE_EQ(merged.features[0].Get(1), 5.0);
 }
 
 TEST(MergeFeatureDataTest, EmptyInput) {
-  FeatureData merged = MergeFeatureData({});
+  FeatureData merged = testing::MergeFeatureData({});
   EXPECT_EQ(merged.num_rows(), 0u);
   EXPECT_EQ(merged.dim, 0u);
 }

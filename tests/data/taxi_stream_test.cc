@@ -42,9 +42,9 @@ TEST(TaxiStreamTest, RecordsParseAgainstRawSchema) {
   const auto& table = std::get<TableData>(*result);
   ASSERT_EQ(table.num_rows(), 100u);
   // Pickup before dropoff for every trip.
-  for (const Row& row : table.rows) {
-    EXPECT_LE(row[0].int64_value(), row[1].int64_value());
-    const int64_t passengers = row[6].int64_value();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_LE(table.column(0).ints()[r], table.column(1).ints()[r]);
+    const int64_t passengers = table.column(6).ints()[r];
     EXPECT_GE(passengers, 1);
     EXPECT_LE(passengers, 6);
   }

@@ -1,0 +1,41 @@
+// Regenerates the transform-equivalence golden files.
+//
+//   cdpipe_golden_generator <output-dir>
+//
+// Writes one `<case>.golden` file per fixture in golden_pipelines.h.  The
+// committed files under tests/golden/data/ were produced by the seed
+// row-at-a-time pipeline implementation and are the reference the columnar
+// path is held to, bit for bit; regenerate them only when a fixture is
+// deliberately changed, never to paper over an output difference.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "tests/golden/golden_pipelines.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <output-dir>\n";
+    return 2;
+  }
+  const std::string out_dir = argv[1];
+  for (cdpipe::golden::GoldenCase& c : cdpipe::golden::AllGoldenCases()) {
+    const std::string path = out_dir + "/" + c.name + ".golden";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    cdpipe::Serializer serializer(&os);
+    const cdpipe::Status status =
+        cdpipe::golden::WriteGoldenCase(&serializer, &c);
+    if (!status.ok() || !serializer.ok()) {
+      std::cerr << "case " << c.name << " failed: " << status.ToString()
+                << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,253 @@
+#ifndef CDPIPE_TESTS_GOLDEN_GOLDEN_PIPELINES_H_
+#define CDPIPE_TESTS_GOLDEN_GOLDEN_PIPELINES_H_
+
+// The fixture pipelines and input chunks of the transform-equivalence
+// golden suite.  The golden files under tests/golden/data/ were generated
+// by cdpipe_golden_generator from the *seed row-at-a-time* implementation;
+// the equivalence test asserts that the current (columnar) implementation
+// reproduces them bit for bit, for both pipeline entry points.
+//
+// Everything here must stay deterministic: fixed seeds, fixed record
+// counts, and fixture data that never exercises implementation-defined
+// hashing (the one-hot fixtures keep every dictionary below capacity so the
+// std::hash fallback for unknown categories is never taken).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/data/taxi_stream.h"
+#include "src/data/url_stream.h"
+#include "src/dataframe/chunk.h"
+#include "src/io/serialization.h"
+#include "src/pipeline/column_projector.h"
+#include "src/pipeline/input_parser.h"
+#include "src/pipeline/missing_value_imputer.h"
+#include "src/pipeline/one_hot_encoder.h"
+#include "src/pipeline/pipeline.h"
+#include "src/pipeline/zscore_anomaly_detector.h"
+
+namespace cdpipe {
+namespace golden {
+
+/// One equivalence fixture: a pipeline factory plus its input stream.
+struct GoldenCase {
+  std::string name;
+  std::unique_ptr<Pipeline> pipeline;
+  std::vector<RawChunk> chunks;
+};
+
+inline RawChunk MakeChunk(ChunkId id, std::vector<std::string> records) {
+  RawChunk chunk;
+  chunk.id = id;
+  chunk.event_time_seconds = id * 60;
+  chunk.records = std::move(records);
+  return chunk;
+}
+
+/// URL scenario: libsvm parser -> imputer -> scaler -> hasher (paper §5.1).
+inline GoldenCase MakeUrlGoldenCase() {
+  GoldenCase out;
+  out.name = "url";
+  UrlPipelineConfig config;
+  config.raw_dim = 1u << 16;
+  config.hash_bits = 12;
+  out.pipeline = MakeUrlPipeline(config);
+  UrlStreamGenerator::Config stream;
+  stream.feature_dim = config.raw_dim;
+  stream.initial_active_features = 3000;
+  stream.records_per_chunk = 150;
+  stream.missing_prob = 0.02;
+  stream.seed = 7;
+  UrlStreamGenerator generator(stream);
+  out.chunks = generator.Generate(3);
+  return out;
+}
+
+/// Taxi scenario: csv parser -> feature extractor -> anomaly filter ->
+/// scaler -> assembler (paper §5.1).
+inline GoldenCase MakeTaxiGoldenCase() {
+  GoldenCase out;
+  out.name = "taxi";
+  out.pipeline = MakeTaxiPipeline();
+  TaxiStreamGenerator::Config stream;
+  stream.records_per_chunk = 150;
+  stream.anomaly_prob = 0.03;
+  stream.seed = 11;
+  TaxiStreamGenerator generator(stream);
+  out.chunks = generator.Generate(3);
+  return out;
+}
+
+/// Bare libsvm parser on a hand-written fixture with malformed records,
+/// nan values, duplicate and unsorted indices, and whitespace quirks.
+inline GoldenCase MakeLibSvmGoldenCase() {
+  GoldenCase out;
+  out.name = "libsvm";
+  out.pipeline = std::make_unique<Pipeline>();
+  InputParser::Options parser;
+  parser.format = InputParser::Format::kLibSvm;
+  parser.feature_dim = 32;
+  parser.binarize_labels = true;
+  CDPIPE_CHECK(
+      out.pipeline->AddComponent(std::make_unique<InputParser>(parser)).ok());
+  out.chunks.push_back(MakeChunk(0, {
+                                        "+1 0:1.5 3:2.25 7:-0.125",
+                                        "-1 1:0.5 2:nan 30:4",
+                                        "1 5:1 5:2 4:3",         // dup + unsorted
+                                        "0 0:0.0 31:1e-3",       // label <= 0
+                                        "not-a-label 1:2",       // malformed
+                                        "+1 40:1",               // out of range
+                                        "-1  6:2.5   9:1.25 ",   // extra spaces
+                                        "",                      // empty record
+                                        "+1",                    // no features
+                                        "-1 3:+4.5 8:-1e2",
+                                    }));
+  out.chunks.push_back(MakeChunk(1, {
+                                        "+1 0:nan 1:nan",
+                                        "-1 31:7",
+                                        "bad:row",
+                                        "+1 2:0.001 3:1000000",
+                                    }));
+  return out;
+}
+
+/// Categorical table fixture covering the remaining table components:
+/// csv parser -> imputer (table mode) -> z-score detector ->
+/// column projector -> one-hot encoder.
+inline GoldenCase MakeCategoricalGoldenCase() {
+  GoldenCase out;
+  out.name = "categorical";
+  auto schema =
+      std::move(Schema::Make({Field{"when", ValueType::kTimestamp},
+                              Field{"x", ValueType::kDouble},
+                              Field{"n", ValueType::kInt64},
+                              Field{"color", ValueType::kString},
+                              Field{"label", ValueType::kDouble}}))
+          .ValueOrDie();
+
+  out.pipeline = std::make_unique<Pipeline>();
+  InputParser::Options parser;
+  parser.format = InputParser::Format::kCsv;
+  parser.csv_schema = schema;
+  CDPIPE_CHECK(
+      out.pipeline->AddComponent(std::make_unique<InputParser>(parser)).ok());
+
+  MissingValueImputer::Options imputer;
+  imputer.columns = {"x"};
+  imputer.default_value = -1.0;
+  CDPIPE_CHECK(out.pipeline
+                   ->AddComponent(std::make_unique<MissingValueImputer>(imputer))
+                   .ok());
+
+  ZScoreAnomalyDetector::Options zscore;
+  zscore.columns = {"x"};
+  zscore.threshold = 2.5;
+  zscore.min_observations = 6;
+  CDPIPE_CHECK(out.pipeline
+                   ->AddComponent(std::make_unique<ZScoreAnomalyDetector>(zscore))
+                   .ok());
+
+  CDPIPE_CHECK(out.pipeline
+                   ->AddComponent(std::make_unique<ColumnProjector>(
+                       std::vector<std::string>{"x", "n", "color", "label"}))
+                   .ok());
+
+  OneHotEncoder::Options encoder;
+  encoder.numeric_columns = {"x", "n"};
+  // Capacity 8 with only 4 distinct fixture values: the dictionary never
+  // fills, so the hashed-slot fallback (std::hash, implementation-defined)
+  // is never taken and the goldens stay portable.
+  encoder.categorical_columns = {{"color", 8}};
+  encoder.label_column = "label";
+  CDPIPE_CHECK(
+      out.pipeline->AddComponent(std::make_unique<OneHotEncoder>(encoder))
+          .ok());
+
+  out.chunks.push_back(MakeChunk(
+      0, {
+             "2015-01-01 08:00:00,1.5,3,red,10.5",
+             "2015-01-01 08:01:00,2.5,1,green,11.0",
+             "2015-01-01 08:02:00,,2,blue,9.5",        // null x -> imputed
+             "2015-01-01 08:03:00,1.75,4,red,10.0",
+             "2015-01-01 08:04:00,2.25,0,,8.5",        // null color
+             "2015-01-01 08:05:00,1.25,2,green,12.0",
+             "totally,broken,row",                     // malformed: dropped
+             "2015-01-01 08:06:00,2.0,5,amber,10.25",
+         }));
+  out.chunks.push_back(MakeChunk(
+      1, {
+             "2015-01-01 09:00:00,1.9,2,blue,9.75",
+             "2015-01-01 09:01:00,250.0,3,red,10.5",   // z-score outlier
+             "2015-01-01 09:02:00,2.1,1,green,11.25",
+             "2015-01-01 09:03:00,,6,amber,9.0",       // null x -> imputed
+             "2015-01-01 09:04:00,1.6,2,red,10.75",
+         }));
+  return out;
+}
+
+inline std::vector<GoldenCase> AllGoldenCases() {
+  std::vector<GoldenCase> cases;
+  cases.push_back(MakeUrlGoldenCase());
+  cases.push_back(MakeTaxiGoldenCase());
+  cases.push_back(MakeLibSvmGoldenCase());
+  cases.push_back(MakeCategoricalGoldenCase());
+  return cases;
+}
+
+/// Serializes one FeatureData bit-exactly (hexfloat doubles).
+inline void WriteFeatureData(Serializer* out, const FeatureData& data) {
+  out->WriteInt("golden.dim", static_cast<int64_t>(data.dim));
+  out->WriteInt("golden.rows", static_cast<int64_t>(data.num_rows()));
+  out->WriteDoubleVector("golden.labels", data.labels);
+  for (const SparseVector& x : data.features) {
+    out->WriteUint32Vector("golden.indices", x.indices());
+    out->WriteDoubleVector("golden.values", x.values());
+  }
+}
+
+inline Result<FeatureData> ReadFeatureData(Deserializer* in) {
+  FeatureData data;
+  CDPIPE_ASSIGN_OR_RETURN(int64_t dim, in->ReadInt("golden.dim"));
+  CDPIPE_ASSIGN_OR_RETURN(int64_t rows, in->ReadInt("golden.rows"));
+  data.dim = static_cast<uint32_t>(dim);
+  CDPIPE_ASSIGN_OR_RETURN(data.labels, in->ReadDoubleVector("golden.labels"));
+  data.features.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    CDPIPE_ASSIGN_OR_RETURN(auto indices,
+                            in->ReadUint32Vector("golden.indices"));
+    CDPIPE_ASSIGN_OR_RETURN(auto values,
+                            in->ReadDoubleVector("golden.values"));
+    CDPIPE_ASSIGN_OR_RETURN(
+        SparseVector x,
+        SparseVector::FromSorted(data.dim, std::move(indices),
+                                 std::move(values)));
+    data.features.push_back(std::move(x));
+  }
+  return data;
+}
+
+/// The golden protocol: for each chunk, the online path's output
+/// (UpdateAndTransform, statistics folding in chunk by chunk); then, with
+/// the statistics frozen after the last chunk, the pure Transform output
+/// for every chunk (the re-materialization view of the same data).
+inline Status WriteGoldenCase(Serializer* out, GoldenCase* c) {
+  out->WriteString("golden.case", c->name);
+  out->WriteInt("golden.num_chunks", static_cast<int64_t>(c->chunks.size()));
+  for (const RawChunk& chunk : c->chunks) {
+    CDPIPE_ASSIGN_OR_RETURN(FeatureData data,
+                            c->pipeline->UpdateAndTransform(chunk));
+    WriteFeatureData(out, data);
+  }
+  for (const RawChunk& chunk : c->chunks) {
+    CDPIPE_ASSIGN_OR_RETURN(FeatureData data, c->pipeline->Transform(chunk));
+    WriteFeatureData(out, data);
+  }
+  return Status::OK();
+}
+
+}  // namespace golden
+}  // namespace cdpipe
+
+#endif  // CDPIPE_TESTS_GOLDEN_GOLDEN_PIPELINES_H_

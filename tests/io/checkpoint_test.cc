@@ -200,12 +200,13 @@ TEST(OneHotCheckpointTest, DictionaryRoundTrip) {
   options.label_column = "label";
   OneHotEncoder encoder(options);
 
-  TableData table;
-  table.schema = std::move(Schema::Make({Field{"color", ValueType::kString},
-                                         Field{"label", ValueType::kDouble}}))
-                     .ValueOrDie();
+  auto schema = std::move(Schema::Make({Field{"color", ValueType::kString},
+                                        Field{"label", ValueType::kDouble}}))
+                    .ValueOrDie();
+  TableData table(schema);
   for (const char* color : {"red", "green", "blue"}) {
-    table.rows.push_back({Value::String(color), Value::Double(1.0)});
+    ASSERT_TRUE(
+        table.AppendRow({Value::String(color), Value::Double(1.0)}).ok());
   }
   ASSERT_TRUE(encoder.Update(DataBatch(table)).ok());
 

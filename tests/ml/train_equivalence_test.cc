@@ -15,6 +15,7 @@
 #include "src/ml/batch_view.h"
 #include "src/ml/trainer.h"
 #include "src/sampling/sampler.h"
+#include "tests/testing/feature_data_test_util.h"
 
 namespace cdpipe {
 namespace {
@@ -137,7 +138,7 @@ TEST_P(SamplerDrivenEquivalenceTest, IterationsMatchMergedCopyPath) {
     for (ChunkId id : copy_ids) parts.push_back(&chunks[id]);
 
     // Copy path: merge into one FeatureData, serial update.
-    FeatureData merged = MergeFeatureData(parts);
+    FeatureData merged = testing::MergeFeatureData(parts);
     copy_model.EnsureDim(merged.dim);
     ASSERT_TRUE(copy_model.Update(merged, copy_opt.get()).ok());
 

@@ -2,15 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/table_test_util.h"
+
 namespace cdpipe {
 namespace {
 
 TableData MakeTable(std::vector<double> values) {
-  TableData table;
-  table.schema =
+  auto schema =
       std::move(Schema::Make({Field{"v", ValueType::kDouble}})).ValueOrDie();
-  for (double v : values) table.rows.push_back({Value::Double(v)});
-  return table;
+  std::vector<Row> rows;
+  for (double v : values) rows.push_back({Value::Double(v)});
+  return testing::TableFromRows(schema, rows);
 }
 
 TEST(AnomalyFilterTest, KeepInRangeFilters) {
@@ -19,25 +21,30 @@ TEST(AnomalyFilterTest, KeepInRangeFilters) {
   ASSERT_TRUE(result.ok());
   const auto& out = std::get<TableData>(*result);
   ASSERT_EQ(out.num_rows(), 3u);
-  EXPECT_DOUBLE_EQ(out.rows[0][0].double_value(), 0.0);
-  EXPECT_DOUBLE_EQ(out.rows[2][0].double_value(), 10.0);
+  EXPECT_DOUBLE_EQ(out.ValueAt(0, 0).double_value(), 0.0);
+  EXPECT_DOUBLE_EQ(out.ValueAt(2, 0).double_value(), 10.0);
   EXPECT_EQ(filter->num_dropped(), 2u);
 }
 
 TEST(AnomalyFilterTest, NullCellsDroppedByRangeFilter) {
   auto filter = AnomalyFilter::KeepInRange("v", 0.0, 10.0);
   TableData table = MakeTable({5});
-  table.rows.push_back({Value::Null()});
+  ASSERT_TRUE(table.AppendRow({Value::Null()}).ok());
   auto result = filter->Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(std::get<TableData>(*result).num_rows(), 1u);
 }
 
 TEST(AnomalyFilterTest, CustomPredicate) {
-  AnomalyFilter filter("odd-only", [](const Schema&, const Row& row) ->
-                       Result<bool> {
-    return static_cast<int64_t>(row[0].double_value()) % 2 == 1;
-  });
+  AnomalyFilter filter(
+      "odd-only",
+      [](const TableData& table, std::vector<uint8_t>* keep) -> Status {
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          const double v = table.column(0).doubles()[r];
+          (*keep)[r] = static_cast<int64_t>(v) % 2 == 1;
+        }
+        return Status::OK();
+      });
   auto result = filter.Transform(DataBatch(MakeTable({1, 2, 3, 4, 5})));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(std::get<TableData>(*result).num_rows(), 3u);
@@ -45,9 +52,10 @@ TEST(AnomalyFilterTest, CustomPredicate) {
 }
 
 TEST(AnomalyFilterTest, PredicateErrorPropagates) {
-  AnomalyFilter filter("boom", [](const Schema&, const Row&) -> Result<bool> {
-    return Status::Internal("boom");
-  });
+  AnomalyFilter filter(
+      "boom", [](const TableData&, std::vector<uint8_t>*) -> Status {
+        return Status::Internal("boom");
+      });
   EXPECT_FALSE(filter.Transform(DataBatch(MakeTable({1}))).ok());
 }
 

@@ -2,20 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/table_test_util.h"
+
 namespace cdpipe {
 namespace {
 
 TableData MakeTable() {
-  TableData table;
-  table.schema = std::move(Schema::Make({Field{"a", ValueType::kDouble},
-                                         Field{"b", ValueType::kString},
-                                         Field{"c", ValueType::kInt64}}))
-                     .ValueOrDie();
-  table.rows.push_back(
-      {Value::Double(1.0), Value::String("x"), Value::Int64(7)});
-  table.rows.push_back(
-      {Value::Double(2.0), Value::String("y"), Value::Int64(8)});
-  return table;
+  auto schema = std::move(Schema::Make({Field{"a", ValueType::kDouble},
+                                        Field{"b", ValueType::kString},
+                                        Field{"c", ValueType::kInt64}}))
+                    .ValueOrDie();
+  return testing::TableFromRows(
+      schema, {{Value::Double(1.0), Value::String("x"), Value::Int64(7)},
+               {Value::Double(2.0), Value::String("y"), Value::Int64(8)}});
 }
 
 TEST(ColumnProjectorTest, SelectsAndReorders) {
@@ -23,11 +22,11 @@ TEST(ColumnProjectorTest, SelectsAndReorders) {
   auto result = projector.Transform(DataBatch(MakeTable()));
   ASSERT_TRUE(result.ok());
   const auto& out = std::get<TableData>(*result);
-  EXPECT_EQ(out.schema->num_fields(), 2u);
-  EXPECT_EQ(out.schema->field(0).name, "c");
-  EXPECT_EQ(out.schema->field(1).name, "a");
-  EXPECT_EQ(out.rows[0][0].int64_value(), 7);
-  EXPECT_DOUBLE_EQ(out.rows[1][1].double_value(), 2.0);
+  EXPECT_EQ(out.schema()->num_fields(), 2u);
+  EXPECT_EQ(out.schema()->field(0).name, "c");
+  EXPECT_EQ(out.schema()->field(1).name, "a");
+  EXPECT_EQ(out.ValueAt(0, 0).int64_value(), 7);
+  EXPECT_DOUBLE_EQ(out.ValueAt(1, 1).double_value(), 2.0);
 }
 
 TEST(ColumnProjectorTest, MissingColumnErrors) {
@@ -54,7 +53,7 @@ TEST(ColumnProjectorTest, ContractAndClone) {
   auto clone = projector.Clone();
   auto result = clone->Transform(DataBatch(MakeTable()));
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(std::get<TableData>(*result).schema->num_fields(), 1u);
+  EXPECT_EQ(std::get<TableData>(*result).schema()->num_fields(), 1u);
 }
 
 }  // namespace

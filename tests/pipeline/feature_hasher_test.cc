@@ -123,8 +123,7 @@ TEST(FeatureHasherTest, BucketsSpreadAcrossRange) {
 
 TEST(FeatureHasherTest, RejectsTableBatch) {
   FeatureHasher hasher;
-  TableData table;
-  table.schema = std::move(Schema::Make({})).ValueOrDie();
+  TableData table(std::move(Schema::Make({})).ValueOrDie());
   EXPECT_FALSE(hasher.Transform(DataBatch(table)).ok());
 }
 

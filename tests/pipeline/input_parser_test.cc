@@ -4,15 +4,13 @@
 
 #include <gtest/gtest.h>
 
-#include "src/pipeline/pipeline.h"
+#include "tests/testing/table_test_util.h"
 
 namespace cdpipe {
 namespace {
 
 DataBatch WrapLines(std::vector<std::string> lines) {
-  RawChunk chunk;
-  chunk.records = std::move(lines);
-  return Pipeline::WrapRaw(chunk);
+  return testing::OwnedRawTable(lines);
 }
 
 TEST(InputParserLibSvmTest, ParsesLabelsAndFeatures) {
@@ -113,10 +111,10 @@ TEST(InputParserCsvTest, ParsesTypedColumns) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const auto& table = std::get<TableData>(*result);
   ASSERT_EQ(table.num_rows(), 1u);
-  EXPECT_EQ(table.rows[0][0].int64_value(), 1420070400);
-  EXPECT_DOUBLE_EQ(table.rows[0][1].double_value(), 1.5);
-  EXPECT_EQ(table.rows[0][2].int64_value(), 7);
-  EXPECT_EQ(table.rows[0][3].string_value(), "hello");
+  EXPECT_EQ(table.ValueAt(0, 0).int64_value(), 1420070400);
+  EXPECT_DOUBLE_EQ(table.ValueAt(0, 1).double_value(), 1.5);
+  EXPECT_EQ(table.ValueAt(0, 2).int64_value(), 7);
+  EXPECT_EQ(table.ValueAt(0, 3).string_value(), "hello");
 }
 
 TEST(InputParserCsvTest, EmptyFieldBecomesNull) {
@@ -126,7 +124,7 @@ TEST(InputParserCsvTest, EmptyFieldBecomesNull) {
   InputParser parser(options);
   auto result = parser.Transform(WrapLines({"2015-01-01 00:00:00,,7,x"}));
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(std::get<TableData>(*result).rows[0][1].is_null());
+  EXPECT_TRUE(std::get<TableData>(*result).ValueAt(0, 1).is_null());
 }
 
 TEST(InputParserCsvTest, DropsWrongArityAndBadValues) {
@@ -156,7 +154,7 @@ TEST(InputParserCsvTest, CustomDelimiter) {
   InputParser parser(options);
   auto result = parser.Transform(WrapLines({"1.0;2.0"}));
   ASSERT_TRUE(result.ok());
-  EXPECT_DOUBLE_EQ(std::get<TableData>(*result).rows[0][1].double_value(),
+  EXPECT_DOUBLE_EQ(std::get<TableData>(*result).ValueAt(0, 1).double_value(),
                    2.0);
 }
 

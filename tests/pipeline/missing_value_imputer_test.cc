@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/table_test_util.h"
+
 namespace cdpipe {
 namespace {
 
@@ -71,32 +73,32 @@ TEST(ImputerTableModeTest, FillsNullCells) {
   options.columns = {"x"};
   MissingValueImputer imputer(options);
 
-  TableData table;
-  table.schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
-                                         Field{"y", ValueType::kDouble}}))
-                     .ValueOrDie();
-  table.rows.push_back({Value::Double(2.0), Value::Double(1.0)});
-  table.rows.push_back({Value::Double(6.0), Value::Null()});
+  auto schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
+                                        Field{"y", ValueType::kDouble}}))
+                    .ValueOrDie();
+  TableData table = testing::TableFromRows(
+      schema, {{Value::Double(2.0), Value::Double(1.0)},
+               {Value::Double(6.0), Value::Null()}});
   DataBatch batch = table;
   ASSERT_TRUE(imputer.Update(batch).ok());
 
   TableData query = table;
-  query.rows.push_back({Value::Null(), Value::Null()});
+  ASSERT_TRUE(query.AppendRow({Value::Null(), Value::Null()}).ok());
   auto result = imputer.Transform(DataBatch(query));
   ASSERT_TRUE(result.ok());
   const auto& out = std::get<TableData>(*result);
-  EXPECT_DOUBLE_EQ(out.rows[2][0].double_value(), 4.0);  // imputed mean
-  EXPECT_TRUE(out.rows[2][1].is_null());  // y not configured: untouched
+  EXPECT_DOUBLE_EQ(out.ValueAt(2, 0).double_value(), 4.0);  // imputed mean
+  EXPECT_TRUE(out.ValueAt(2, 1).is_null());  // y not configured: untouched
 }
 
 TEST(ImputerTableModeTest, MissingColumnErrors) {
   MissingValueImputer::Options options;
   options.columns = {"zzz"};
   MissingValueImputer imputer(options);
-  TableData table;
-  table.schema =
+  auto schema =
       std::move(Schema::Make({Field{"x", ValueType::kDouble}})).ValueOrDie();
-  table.rows.push_back({Value::Double(1.0)});
+  TableData table =
+      testing::TableFromRows(schema, {{Value::Double(1.0)}});
   EXPECT_FALSE(imputer.Update(DataBatch(table)).ok());
 }
 

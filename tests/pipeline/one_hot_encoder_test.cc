@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/table_test_util.h"
+
 namespace cdpipe {
 namespace {
 
@@ -14,13 +16,12 @@ std::shared_ptr<const Schema> EncoderSchema() {
 
 TableData MakeTable(
     std::vector<std::tuple<double, std::string, double>> rows) {
-  TableData table;
-  table.schema = EncoderSchema();
+  std::vector<Row> out;
   for (const auto& [amount, color, label] : rows) {
-    table.rows.push_back(
+    out.push_back(
         {Value::Double(amount), Value::String(color), Value::Double(label)});
   }
-  return table;
+  return testing::TableFromRows(EncoderSchema(), out);
 }
 
 OneHotEncoder::Options BaseOptions(uint32_t max_cardinality = 4) {
@@ -116,9 +117,9 @@ TEST(OneHotEncoderTest, StableIndicesAcrossDictionaryGrowth) {
 
 TEST(OneHotEncoderTest, NullCategoricalSkipped) {
   OneHotEncoder encoder(BaseOptions());
-  TableData table;
-  table.schema = EncoderSchema();
-  table.rows.push_back({Value::Double(2.0), Value::Null(), Value::Double(1)});
+  TableData table = testing::TableFromRows(
+      EncoderSchema(),
+      {{Value::Double(2.0), Value::Null(), Value::Double(1)}});
   auto result = encoder.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(std::get<FeatureData>(*result).features[0].nnz(), 1u);

@@ -26,11 +26,14 @@ std::unique_ptr<Pipeline> SmallUrlPipeline() {
 }
 
 TEST(PipelineTest, WrapRawProducesSingleStringColumn) {
-  TableData table = Pipeline::WrapRaw(MakeChunk({"a", "b"}));
-  EXPECT_EQ(table.schema->num_fields(), 1u);
-  EXPECT_EQ(table.schema->field(0).name, "raw");
+  // The chunk must outlive the table: WrapRaw borrows the record bytes.
+  RawChunk chunk = MakeChunk({"a", "b"});
+  TableData table = Pipeline::WrapRaw(chunk);
+  EXPECT_EQ(table.schema()->num_fields(), 1u);
+  EXPECT_EQ(table.schema()->field(0).name, "raw");
   ASSERT_EQ(table.num_rows(), 2u);
-  EXPECT_EQ(table.rows[1][0].string_value(), "b");
+  EXPECT_TRUE(table.column(0).is_borrowed());
+  EXPECT_EQ(table.column(0).StringAt(1), "b");
 }
 
 TEST(PipelineTest, RejectsNullComponent) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "tests/testing/table_test_util.h"
 
 namespace cdpipe {
 namespace {
@@ -94,14 +95,14 @@ TEST(ScalerFeatureModeTest, IncrementalEqualsBatch) {
 }
 
 TableData MakeTable(std::vector<std::pair<double, double>> xy) {
-  TableData table;
-  table.schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
-                                         Field{"y", ValueType::kDouble}}))
-                     .ValueOrDie();
+  auto schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
+                                        Field{"y", ValueType::kDouble}}))
+                    .ValueOrDie();
+  std::vector<Row> rows;
   for (const auto& [x, y] : xy) {
-    table.rows.push_back({Value::Double(x), Value::Double(y)});
+    rows.push_back({Value::Double(x), Value::Double(y)});
   }
-  return table;
+  return testing::TableFromRows(schema, rows);
 }
 
 TEST(ScalerTableModeTest, CentersAndScalesColumns) {
@@ -113,8 +114,8 @@ TEST(ScalerTableModeTest, CentersAndScalesColumns) {
   auto result = scaler.Transform(DataBatch(MakeTable({{4, 9}})));
   ASSERT_TRUE(result.ok());
   const auto& out = std::get<TableData>(*result);
-  EXPECT_DOUBLE_EQ(out.rows[0][0].double_value(), 2.0);  // (4-2)/1
-  EXPECT_DOUBLE_EQ(out.rows[0][1].double_value(), 9.0);  // untouched
+  EXPECT_DOUBLE_EQ(out.ValueAt(0, 0).double_value(), 2.0);  // (4-2)/1
+  EXPECT_DOUBLE_EQ(out.ValueAt(0, 1).double_value(), 9.0);  // untouched
 }
 
 TEST(ScalerTableModeTest, NullCellsSkipped) {
@@ -122,14 +123,14 @@ TEST(ScalerTableModeTest, NullCellsSkipped) {
   options.columns = {"x"};
   StandardScaler scaler(options);
   TableData table = MakeTable({{2, 0}});
-  table.rows.push_back({Value::Null(), Value::Double(0)});
-  table.rows.push_back({Value::Double(4), Value::Double(0)});
+  ASSERT_TRUE(table.AppendRow({Value::Null(), Value::Double(0)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Double(4), Value::Double(0)}).ok());
   ASSERT_TRUE(scaler.Update(DataBatch(table)).ok());
   // Stats over {2, 4}: mean 3, sd 1.
   EXPECT_DOUBLE_EQ(scaler.MeanOf(0), 3.0);
   auto result = scaler.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(std::get<TableData>(*result).rows[1][0].is_null());
+  EXPECT_TRUE(std::get<TableData>(*result).ValueAt(1, 0).is_null());
 }
 
 TEST(ScalerTest, ResetClears) {

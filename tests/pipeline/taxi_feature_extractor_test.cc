@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/string_util.h"
+#include "tests/testing/table_test_util.h"
 
 namespace cdpipe {
 namespace {
@@ -58,19 +59,18 @@ TEST(BearingTest, AlwaysInRange) {
 
 TEST(TaxiFeatureExtractorTest, ComputesAllDerivedColumns) {
   TaxiFeatureExtractor extractor;
-  TableData table;
-  table.schema = RawSchema();
   // Wednesday 2015-01-07, 08:30 pickup, 20-minute trip.
-  table.rows.push_back(MakeTrip("2015-01-07 08:30:00", "2015-01-07 08:50:00",
-                                -73.97, 40.75, -73.98, 40.78));
+  TableData table = testing::TableFromRows(
+      RawSchema(), {MakeTrip("2015-01-07 08:30:00", "2015-01-07 08:50:00",
+                             -73.97, 40.75, -73.98, 40.78)});
   auto result = extractor.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const auto& out = std::get<TableData>(*result);
   ASSERT_EQ(out.num_rows(), 1u);
-  const Schema& schema = *out.schema;
+  const Schema& schema = *out.schema();
 
   auto value_of = [&](const std::string& name) {
-    return out.rows[0][std::move(schema.FieldIndex(name)).ValueOrDie()]
+    return out.ValueAt(0, std::move(schema.FieldIndex(name)).ValueOrDie())
         .double_value();
   };
   EXPECT_DOUBLE_EQ(value_of("duration_s"), 1200.0);
@@ -85,34 +85,33 @@ TEST(TaxiFeatureExtractorTest, ComputesAllDerivedColumns) {
 
 TEST(TaxiFeatureExtractorTest, WeekdayAcrossWeek) {
   TaxiFeatureExtractor extractor;
-  TableData table;
-  table.schema = RawSchema();
   // 2015-01-05 is a Monday; sweep seven consecutive days.
+  std::vector<Row> rows;
   for (int d = 0; d < 7; ++d) {
-    table.rows.push_back(
+    rows.push_back(
         MakeTrip(StrFormat("2015-01-%02d 12:00:00", 5 + d),
                  StrFormat("2015-01-%02d 12:10:00", 5 + d), -73.97, 40.75,
                  -73.98, 40.76));
   }
+  TableData table = testing::TableFromRows(RawSchema(), rows);
   auto result = extractor.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
   const auto& out = std::get<TableData>(*result);
   const size_t dow =
-      std::move(out.schema->FieldIndex("day_of_week")).ValueOrDie();
+      std::move(out.schema()->FieldIndex("day_of_week")).ValueOrDie();
   for (int d = 0; d < 7; ++d) {
-    EXPECT_DOUBLE_EQ(out.rows[d][dow].double_value(), d);
+    EXPECT_DOUBLE_EQ(out.ValueAt(d, dow).double_value(), d);
   }
 }
 
 TEST(TaxiFeatureExtractorTest, DropsRowsWithMissingEndpoints) {
   TaxiFeatureExtractor extractor;
-  TableData table;
-  table.schema = RawSchema();
-  table.rows.push_back(MakeTrip("2015-01-07 08:30:00", "2015-01-07 08:50:00",
-                                -73.97, 40.75, -73.98, 40.78));
-  Row incomplete = table.rows[0];
+  Row complete = MakeTrip("2015-01-07 08:30:00", "2015-01-07 08:50:00",
+                          -73.97, 40.75, -73.98, 40.78);
+  Row incomplete = complete;
   incomplete[2] = Value::Null();
-  table.rows.push_back(incomplete);
+  TableData table =
+      testing::TableFromRows(RawSchema(), {complete, incomplete});
   auto result = extractor.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(std::get<TableData>(*result).num_rows(), 1u);
@@ -120,10 +119,10 @@ TEST(TaxiFeatureExtractorTest, DropsRowsWithMissingEndpoints) {
 
 TEST(TaxiFeatureExtractorTest, MissingColumnErrors) {
   TaxiFeatureExtractor extractor;
-  TableData table;
-  table.schema =
+  auto schema =
       std::move(Schema::Make({Field{"x", ValueType::kDouble}})).ValueOrDie();
-  table.rows.push_back({Value::Double(1.0)});
+  TableData table =
+      testing::TableFromRows(schema, {{Value::Double(1.0)}});
   EXPECT_FALSE(extractor.Transform(DataBatch(table)).ok());
 }
 

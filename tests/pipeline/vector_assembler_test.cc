@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/table_test_util.h"
+
 namespace cdpipe {
 namespace {
 
@@ -15,13 +17,12 @@ std::shared_ptr<const Schema> ThreeColumnSchema() {
 }
 
 TableData MakeTable(std::vector<std::array<double, 3>> rows) {
-  TableData table;
-  table.schema = ThreeColumnSchema();
+  std::vector<Row> out;
   for (const auto& r : rows) {
-    table.rows.push_back(
+    out.push_back(
         {Value::Double(r[0]), Value::Double(r[1]), Value::Double(r[2])});
   }
-  return table;
+  return testing::TableFromRows(ThreeColumnSchema(), out);
 }
 
 VectorAssembler::Options BaseOptions(bool intercept = false) {
@@ -56,9 +57,9 @@ TEST(VectorAssemblerTest, InterceptAppendsConstantOne) {
 
 TEST(VectorAssemblerTest, NullFeatureBecomesZero) {
   VectorAssembler assembler(BaseOptions());
-  TableData table;
-  table.schema = ThreeColumnSchema();
-  table.rows.push_back({Value::Null(), Value::Double(2), Value::Double(1)});
+  TableData table = testing::TableFromRows(
+      ThreeColumnSchema(),
+      {{Value::Null(), Value::Double(2), Value::Double(1)}});
   auto result = assembler.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
   const auto& out = std::get<FeatureData>(*result);
@@ -68,9 +69,9 @@ TEST(VectorAssemblerTest, NullFeatureBecomesZero) {
 
 TEST(VectorAssemblerTest, NullLabelErrors) {
   VectorAssembler assembler(BaseOptions());
-  TableData table;
-  table.schema = ThreeColumnSchema();
-  table.rows.push_back({Value::Double(1), Value::Double(2), Value::Null()});
+  TableData table = testing::TableFromRows(
+      ThreeColumnSchema(),
+      {{Value::Double(1), Value::Double(2), Value::Null()}});
   EXPECT_FALSE(assembler.Transform(DataBatch(table)).ok());
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/common/rng.h"
 #include "src/io/serialization.h"
+#include "tests/testing/table_test_util.h"
 
 namespace cdpipe {
 namespace {
@@ -15,10 +16,9 @@ std::shared_ptr<const Schema> OneColumnSchema() {
 }
 
 TableData MakeTable(std::vector<double> values) {
-  TableData table;
-  table.schema = OneColumnSchema();
-  for (double v : values) table.rows.push_back({Value::Double(v)});
-  return table;
+  std::vector<Row> rows;
+  for (double v : values) rows.push_back({Value::Double(v)});
+  return testing::TableFromRows(OneColumnSchema(), rows);
 }
 
 ZScoreAnomalyDetector::Options BaseOptions(double threshold = 3.0,
@@ -85,9 +85,8 @@ TEST(ZScoreDetectorTest, NullCellsNeverVote) {
   ZScoreAnomalyDetector detector(BaseOptions(3.0, 10));
   ASSERT_TRUE(detector.Update(DataBatch(GaussianTable(&rng, 100, 0.0, 1.0)))
                   .ok());
-  TableData table;
-  table.schema = OneColumnSchema();
-  table.rows.push_back({Value::Null()});
+  TableData table = testing::TableFromRows(OneColumnSchema(),
+                                           {{Value::Null()}});
   auto result = detector.Transform(DataBatch(table));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(std::get<TableData>(*result).num_rows(), 1u);
@@ -115,7 +114,10 @@ TEST(ZScoreDetectorTest, CatchesInjectedAnomalies) {
                   .ok());
   TableData mixed = GaussianTable(&rng, 100, 0.0, 1.0);
   for (int i = 0; i < 20; ++i) {
-    mixed.rows.push_back({Value::Double(rng.NextBernoulli(0.5) ? 15.0 : -15.0)});
+    ASSERT_TRUE(
+        mixed
+            .AppendRow({Value::Double(rng.NextBernoulli(0.5) ? 15.0 : -15.0)})
+            .ok());
   }
   auto result = detector.Transform(DataBatch(mixed));
   ASSERT_TRUE(result.ok());
@@ -126,10 +128,10 @@ TEST(ZScoreDetectorTest, CatchesInjectedAnomalies) {
 
 TEST(ZScoreDetectorTest, RejectsNonNumericColumn) {
   ZScoreAnomalyDetector detector(BaseOptions());
-  TableData table;
-  table.schema =
+  auto schema =
       std::move(Schema::Make({Field{"x", ValueType::kString}})).ValueOrDie();
-  table.rows.push_back({Value::String("abc")});
+  TableData table =
+      testing::TableFromRows(schema, {{Value::String("abc")}});
   EXPECT_FALSE(detector.Update(DataBatch(table)).ok());
 }
 

@@ -1,0 +1,49 @@
+#ifndef CDPIPE_TESTS_TESTING_FEATURE_DATA_TEST_UTIL_H_
+#define CDPIPE_TESTS_TESTING_FEATURE_DATA_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/dataframe/chunk.h"
+
+namespace cdpipe {
+namespace testing {
+
+/// Merges feature chunks (possibly with different nominal dims, e.g. when a
+/// one-hot dictionary grew between materializations) into one training
+/// batch whose dim is the maximum of the inputs.
+///
+/// Tests-only: production training consumes sampled chunks zero-copy
+/// through BatchView; this copying merge survives as the reference
+/// implementation the equivalence tests compare that path against.
+inline FeatureData MergeFeatureData(
+    const std::vector<const FeatureData*>& parts) {
+  FeatureData out;
+  size_t total_rows = 0;
+  for (const FeatureData* part : parts) {
+    CDPIPE_CHECK(part != nullptr);
+    out.dim = std::max(out.dim, part->dim);
+    total_rows += part->num_rows();
+  }
+  out.features.reserve(total_rows);
+  out.labels.reserve(total_rows);
+  for (const FeatureData* part : parts) {
+    for (size_t r = 0; r < part->num_rows(); ++r) {
+      const SparseVector& x = part->features[r];
+      if (x.dim() == out.dim) {
+        out.features.push_back(x);
+      } else {
+        // Widen the nominal dimension; indices are untouched.
+        out.features.push_back(std::move(x.WithDim(out.dim)).ValueOrDie());
+      }
+      out.labels.push_back(part->labels[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace cdpipe
+
+#endif  // CDPIPE_TESTS_TESTING_FEATURE_DATA_TEST_UTIL_H_

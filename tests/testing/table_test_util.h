@@ -1,0 +1,39 @@
+#ifndef CDPIPE_TESTS_TESTING_TABLE_TEST_UTIL_H_
+#define CDPIPE_TESTS_TESTING_TABLE_TEST_UTIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dataframe/chunk.h"
+
+namespace cdpipe {
+namespace testing {
+
+/// An *owned* single-string-column table in the pipeline's entry shape
+/// (what `Pipeline::WrapRaw` produces), for feeding parsers in tests
+/// without keeping a RawChunk alive: WrapRaw borrows its records, so a
+/// test that wraps a temporary chunk would read freed memory.  This copy
+/// has no such lifetime to manage.
+inline TableData OwnedRawTable(const std::vector<std::string>& lines) {
+  static const std::shared_ptr<const Schema> kRawSchema =
+      std::move(Schema::Make({Field{"raw", ValueType::kString}})).ValueOrDie();
+  Column raw(ValueType::kString);
+  raw.Reserve(lines.size());
+  for (const std::string& line : lines) raw.AppendString(line);
+  std::vector<Column> columns;
+  columns.push_back(std::move(raw));
+  return std::move(TableData::Make(kRawSchema, std::move(columns)))
+      .ValueOrDie();
+}
+
+/// Row-at-a-time table construction (the seed's brace-literal idiom).
+inline TableData TableFromRows(std::shared_ptr<const Schema> schema,
+                               const std::vector<Row>& rows) {
+  return std::move(TableData::FromRows(std::move(schema), rows)).ValueOrDie();
+}
+
+}  // namespace testing
+}  // namespace cdpipe
+
+#endif  // CDPIPE_TESTS_TESTING_TABLE_TEST_UTIL_H_
