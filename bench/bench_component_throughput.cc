@@ -9,20 +9,28 @@
 // the seed row-at-a-time pipeline before the columnar batch path landed:
 //
 //   bench_component_throughput [--min_seconds=0.5] [--label=columnar]
-//       [--json_out=path]
+//       [--json_out=path] [--obs=0]
 //
 // Compare against BENCH_components.json (label "seed-row-path") to read
-// the columnar speedup per component.
+// the columnar speedup per component.  `--obs=1` runs the identical suite
+// with the whole observability plane live (event journal, watchdog, HTTP
+// obs server on an ephemeral port) — diff the two labels to measure the
+// plane's overhead on hot transform loops.
 
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/obs/event_journal.h"
+#include "src/obs/health.h"
+#include "src/obs/obs_server.h"
 #include "src/pipeline/feature_hasher.h"
 #include "src/pipeline/input_parser.h"
 #include "src/pipeline/missing_value_imputer.h"
@@ -209,9 +217,38 @@ int Main(int argc, char** argv) {
   const double min_seconds = flags.GetDouble("min_seconds", 0.5);
   const std::string label = flags.GetString("label", "columnar");
   const std::string json_out = flags.GetString("json_out", "");
+  const bool obs_on = flags.GetDouble("obs", 0) != 0;
 
-  std::printf("component throughput (label=%s, min_seconds=%.2f)\n",
-              label.c_str(), min_seconds);
+  // Normalize glibc to its multi-threaded code paths in BOTH modes before
+  // timing anything: the first thread a process ever creates permanently
+  // clears `__libc_single_threaded`, turning every shared_ptr refcount in
+  // the transform loops into a real atomic RMW (measured 5–25% on the
+  // shortest loops).  Any real deployment runs an engine pool and pays
+  // this anyway; without the normalization the --obs=1 run (which starts
+  // watchdog + server threads) would be charged for it while the baseline
+  // is not, and the A/B would measure glibc, not the obs plane.
+  std::thread(([] {})).join();
+
+  // With --obs=1 the full observability plane runs alongside the timed
+  // loops: journal enabled, watchdog polling, HTTP server accepting.
+  std::unique_ptr<obs::Watchdog> watchdog;
+  std::unique_ptr<obs::ObsServer> server;
+  if (obs_on) {
+    obs::EventJournal::Global().Enable();
+    watchdog = std::make_unique<obs::Watchdog>();
+    watchdog->Start();
+    server = std::make_unique<obs::ObsServer>();
+    const Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "obs server failed to start: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("obs plane live on http://127.0.0.1:%u\n", server->port());
+  }
+
+  std::printf("component throughput (label=%s, min_seconds=%.2f, obs=%d)\n",
+              label.c_str(), min_seconds, obs_on ? 1 : 0);
   std::vector<BenchResult> results;
   RunSuite(min_seconds, &results);
 
@@ -238,6 +275,8 @@ int Main(int argc, char** argv) {
     }
     std::printf("wrote JSON report: %s\n", json_out.c_str());
   }
+  if (server != nullptr) server->Stop();
+  if (watchdog != nullptr) watchdog->Stop();
   return 0;
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 
 namespace cdpipe {
@@ -46,6 +47,7 @@ Status RetryWithBackoff(const RetryPolicy& policy, const char* op_name,
                         << max_attempts << " failed transiently ("
                         << status.ToString() << "), retrying";
     RetryMetrics::Get().attempts->Increment();
+    obs::EventJournal::Global().Append(obs::EventKind::kRetry, op_name);
     if (backoff > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(
           std::min(backoff, policy.max_backoff_seconds)));

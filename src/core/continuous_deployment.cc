@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -45,6 +47,9 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
       obs::MetricsRegistry::Global()
           .GetCounter("deployment.drift_events")
           ->Increment();
+      obs::EventJournal::Global().Append(
+          obs::EventKind::kDriftTrigger,
+          StrFormat("error=%.4f", outcome.mean_error_signal).c_str());
       CDPIPE_RETURN_NOT_OK(RunDriftBurst());
       continuous_options_.drift_detector->Reset();
     }

@@ -3,9 +3,22 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/obs/correlation.h"
+#include "src/obs/event_journal.h"
+#include "src/obs/health.h"
 #include "src/testing/fault_injector.h"
 
 namespace cdpipe {
+namespace {
+
+obs::Heartbeat* IngestHeartbeat() {
+  static obs::Heartbeat* heartbeat =
+      obs::HealthRegistry::Global().GetHeartbeat("ingest");
+  return heartbeat;
+}
+
+}  // namespace
 
 DataManager::DataManager(ChunkStore::Options store_options,
                          std::unique_ptr<Sampler> sampler)
@@ -33,8 +46,13 @@ Status DataManager::IngestChunk(RawChunk chunk) {
   // (e.g. transiently faulted) PutRaw must leave the manager unchanged so
   // the same chunk can be retried.
   const ChunkId id = chunk.id;
+  const size_t records = chunk.records.size();
+  obs::Heartbeat::WorkScope work(IngestHeartbeat());
   CDPIPE_RETURN_NOT_OK(store_.PutRaw(std::move(chunk)));
   next_id_ = id + 1;
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kIngest, obs::CorrelationScope::WithEntity(id),
+      StrFormat("records=%zu", records).c_str());
   return Status::OK();
 }
 
@@ -52,6 +70,7 @@ Result<DataManager::SampleSet> DataManager::SampleForTraining(
   const std::vector<ChunkId> picked = sampler_->Sample(live, sample_size, rng);
   SampleSet out;
   out.materialized.reserve(picked.size());
+  obs::EventJournal& journal = obs::EventJournal::Global();
   for (ChunkId id : picked) {
     // Evict-heavy fault scenario: memory pressure evicts the sampled
     // chunk's features right before the access, forcing the
@@ -63,12 +82,20 @@ Result<DataManager::SampleSet> DataManager::SampleForTraining(
     store_.RecordSampleAccess(id);
     if (const FeatureChunk* features = store_.GetFeatures(id)) {
       out.materialized.push_back(features);
+      journal.Append(obs::EventKind::kMaterializeHit,
+                     obs::CorrelationScope::WithEntity(id));
     } else {
       const RawChunk* raw = store_.GetRaw(id);
       CDPIPE_CHECK(raw != nullptr) << "sampler returned a dead chunk id";
       out.to_rematerialize.push_back(raw);
+      journal.Append(obs::EventKind::kMaterializeMiss,
+                     obs::CorrelationScope::WithEntity(id));
     }
   }
+  journal.Append(obs::EventKind::kSample,
+                 StrFormat("hits=%zu misses=%zu", out.materialized.size(),
+                           out.to_rematerialize.size())
+                     .c_str());
   return out;
 }
 

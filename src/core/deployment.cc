@@ -2,13 +2,20 @@
 
 #include <utility>
 
+#include <atomic>
+
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/obs/correlation.h"
+#include "src/obs/event_journal.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace cdpipe {
 namespace {
+
+std::atomic<uint32_t> next_deployment_id{1};
 
 struct DeploymentMetrics {
   obs::Counter* chunks_processed;
@@ -41,6 +48,8 @@ Deployment::Deployment(std::string strategy_name, Options options,
                        std::unique_ptr<Optimizer> optimizer,
                        std::unique_ptr<Metric> metric)
     : strategy_name_(std::move(strategy_name)),
+      deployment_id_(
+          next_deployment_id.fetch_add(1, std::memory_order_relaxed)),
       options_(std::move(options)),
       data_manager_(options_.store,
                     MakeSampler(options_.sampler, options_.sampler_window)),
@@ -88,7 +97,10 @@ Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
 }
 
 Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
+  obs::CorrelationScope run_scope(deployment_id_, /*entity=*/-1);
   CDPIPE_TRACE_SPAN("deployment.run", "deployment");
+  obs::Heartbeat* heartbeat =
+      obs::HealthRegistry::Global().GetHeartbeat("deployment");
   const obs::MetricsSnapshot metrics_before =
       obs::MetricsRegistry::Global().Snapshot();
   cost_.Reset();
@@ -104,9 +116,11 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   double sum_cumulative_error = 0.0;
   int64_t previous_event_time = stream.empty() ? 0 : stream[0].event_time_seconds;
   for (size_t i = 0; i < stream.size(); ++i) {
+    const RawChunk& chunk = stream[i];
+    obs::CorrelationScope chunk_scope(deployment_id_, chunk.id);
+    obs::Heartbeat::WorkScope work(heartbeat);
     CDPIPE_TRACE_SPAN("deployment.chunk", "deployment");
     Stopwatch chunk_watch;
-    const RawChunk& chunk = stream[i];
     // Ingest with retry; when a transient storage failure survives its
     // retries, degrade: process the stream's copy of the chunk online so
     // the quality curve stays continuous — the chunk is simply never
@@ -125,6 +139,8 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
     } else if (options_.degrade_on_failure && IsRetryable(ingest_status)) {
       DeploymentMetrics::Get().ingest_failed->Increment();
       DeploymentMetrics::Get().degraded->Increment();
+      obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                         "ingest_failed");
       CDPIPE_LOG(Warning) << "deployment: processing chunk " << chunk.id
                           << " without storage after failed ingest: "
                           << ingest_status.ToString();
@@ -153,6 +169,8 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
         }
         DeploymentMetrics::Get().store_features_failed->Increment();
         DeploymentMetrics::Get().degraded->Increment();
+        obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                           "store_features_failed");
         CDPIPE_LOG(Warning) << "deployment: chunk " << chunk.id
                             << " left unmaterialized: "
                             << store_status.ToString();

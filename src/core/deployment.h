@@ -117,8 +117,14 @@ class Deployment {
   Rng& rng() { return rng_; }
   const Options& options() const { return options_; }
 
+ public:
+  /// Process-unique id assigned at construction (from 1), used as the
+  /// `deployment` half of every correlation id this instance emits.
+  uint32_t deployment_id() const { return deployment_id_; }
+
  private:
   std::string strategy_name_;
+  uint32_t deployment_id_;
   Options options_;
   CostModel cost_;
   DataManager data_manager_;

@@ -5,6 +5,8 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/core/proactive_trainer.h"
+#include "src/obs/correlation.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -112,6 +114,9 @@ Status PeriodicalDeployment::Retrain() {
   obs::MetricsRegistry::Global()
       .GetCounter("deployment.retrainings")
       ->Increment();
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kTrainStep,
+      obs::CorrelationScope::WithEntity(retrainings_), "retrain");
   return Status::OK();
 }
 

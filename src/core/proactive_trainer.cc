@@ -4,6 +4,10 @@
 
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+#include "src/obs/correlation.h"
+#include "src/obs/event_journal.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -59,6 +63,12 @@ ProactiveTrainer::ProactiveTrainer(PipelineManager* pipeline_manager,
 
 Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
   CDPIPE_TRACE_SPAN("proactive.iteration", "training");
+  static obs::Heartbeat* heartbeat =
+      obs::HealthRegistry::Global().GetHeartbeat("trainer");
+  obs::Heartbeat::WorkScope work(heartbeat);
+  // Engine workers do not inherit the caller's thread-local correlation;
+  // capture it here so the fan-out tasks can re-establish it per chunk.
+  const obs::CorrelationId base_corr = obs::CorrelationScope::Current();
   const TrainerMetrics& metrics = TrainerMetrics::Get();
   Stopwatch watch;
 
@@ -74,10 +84,13 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
     Stopwatch remat_watch;
     const Status engine_status =
         engine_->ParallelFor(num_remat, [&](size_t i) -> Status {
+          obs::CorrelationScope scope(base_corr.deployment,
+                                      sample.to_rematerialize[i]->id);
           CDPIPE_ASSIGN_OR_RETURN(
               rebuilt[i],
               pipeline_manager_->Rematerialize(*sample.to_rematerialize[i]));
           rebuilt_ok[i] = 1;
+          obs::EventJournal::Global().Append(obs::EventKind::kRecompute);
           return Status::OK();
         });
     if (!engine_status.ok() && !options_.degrade_on_failure) {
@@ -103,10 +116,21 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
             rebuilt_ok[i] = 1;
             return Status::OK();
           });
-      if (!fallback.ok()) {
+      if (fallback.ok()) {
+        obs::EventJournal::Global().Append(
+            obs::EventKind::kRecompute,
+            obs::CorrelationId{base_corr.deployment,
+                               sample.to_rematerialize[i]->id},
+            "fallback");
+      } else {
         if (!options_.degrade_on_failure) return fallback;
         ++stats_.chunks_skipped;
         metrics.chunks_skipped->Increment();
+        obs::EventJournal::Global().Append(
+            obs::EventKind::kDegrade,
+            obs::CorrelationId{base_corr.deployment,
+                               sample.to_rematerialize[i]->id},
+            "chunk_skipped");
         CDPIPE_LOG(Warning)
             << "proactive training: dropping chunk "
             << sample.to_rematerialize[i]->id
@@ -153,9 +177,17 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
       if (!options_.degrade_on_failure || !IsRetryable(step)) return step;
       ++stats_.iterations_degraded;
       metrics.iterations_degraded->Increment();
+      obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                         "sgd_step_skipped");
       CDPIPE_LOG(Warning) << "proactive training: skipping SGD step after "
                              "exhausted retries: "
                           << step.ToString();
+    } else {
+      // Entity = the step's sequence number within this trainer.
+      obs::EventJournal::Global().Append(
+          obs::EventKind::kTrainStep,
+          obs::CorrelationId{base_corr.deployment, stats_.iterations + 1},
+          StrFormat("rows=%zu", batch.num_rows()).c_str());
     }
     metrics.sgd_step_seconds->Observe(sgd_watch.ElapsedSeconds());
   }

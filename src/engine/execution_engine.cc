@@ -5,10 +5,20 @@
 #include <exception>
 #include <mutex>
 
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/testing/fault_injector.h"
 
 namespace cdpipe {
+namespace {
+
+obs::Heartbeat* EngineHeartbeat() {
+  static obs::Heartbeat* heartbeat =
+      obs::HealthRegistry::Global().GetHeartbeat("engine");
+  return heartbeat;
+}
+
+}  // namespace
 
 ExecutionEngine::ExecutionEngine(size_t num_threads) {
   if (num_threads > 1) {
@@ -23,6 +33,10 @@ size_t ExecutionEngine::num_threads() const {
 Status ExecutionEngine::RunTask(const std::function<Status(size_t)>& task,
                                 size_t index) {
   return RetryWithBackoff(retry_policy_, "engine.task", [&]() -> Status {
+    // The work scope sits inside the retry so an injected slow task shows
+    // up as a busy-but-silent heartbeat — exactly what the watchdog's stall
+    // detector is looking for.
+    obs::Heartbeat::WorkScope work(EngineHeartbeat());
     try {
       CDPIPE_FAULT_POINT("engine.task");
       CDPIPE_FAULT_DELAY("engine.slow_task");

@@ -24,21 +24,66 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+std::string PrometheusEscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendHelp(const std::string& prom_name, const std::string& help,
+                std::string* out) {
+  if (help.empty()) return;
+  *out += "# HELP " + prom_name + " " + PrometheusEscapeHelp(help) + "\n";
+}
+
+}  // namespace
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& c : snapshot.counters) {
     const std::string name = PrometheusName(c.name);
+    AppendHelp(name, c.help, &out);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + StrFormat("%lld", static_cast<long long>(c.value)) +
            "\n";
   }
   for (const auto& g : snapshot.gauges) {
     const std::string name = PrometheusName(g.name);
+    AppendHelp(name, g.help, &out);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + FormatDouble(g.value) + "\n";
   }
   for (const auto& h : snapshot.histograms) {
     const std::string name = PrometheusName(h.name);
+    AppendHelp(name, h.help, &out);
     out += "# TYPE " + name + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < h.hist.upper_bounds.size(); ++i) {

@@ -12,9 +12,17 @@ namespace obs {
 /// Prometheus metric name ("cdpipe_chunk_store_sample_hits").
 std::string PrometheusName(const std::string& name);
 
+/// Escapes `# HELP` text per the text exposition format: backslash becomes
+/// `\\` and newline becomes `\n`.
+std::string PrometheusEscapeHelp(const std::string& help);
+
+/// Escapes a label value: backslash, double quote, and newline.
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
 /// Prometheus text exposition format (version 0.0.4): one `# TYPE` line per
-/// metric, cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for
-/// histograms.  Suitable for a /metrics endpoint or a textfile collector.
+/// metric (preceded by `# HELP` when the registry has help text), cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count` for histograms.  Suitable
+/// for a /metrics endpoint or a textfile collector.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Machine-readable JSON snapshot:

@@ -101,7 +101,8 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
   for (const auto& c : after.counters) {
     auto it = counter_base.find(c.name);
     const int64_t base = it == counter_base.end() ? 0 : it->second;
-    out.counters.push_back({c.name, std::max<int64_t>(0, c.value - base)});
+    out.counters.push_back({c.name, std::max<int64_t>(0, c.value - base),
+                            c.help});
   }
 
   out.gauges = after.gauges;
@@ -113,6 +114,7 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
     HistogramValue d;
     d.name = h.name;
     d.hist = h.hist;
+    d.help = h.help;
     auto it = hist_base.find(h.name);
     if (it != hist_base.end() &&
         it->second->upper_bounds == h.hist.upper_bounds) {
@@ -137,22 +139,30 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
+  if (help != nullptr && help[0] != '\0' && help_[name].empty()) {
+    help_[name] = help;
+  }
   return slot.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
+  if (help != nullptr && help[0] != '\0' && help_[name].empty()) {
+    help_[name] = help;
+  }
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> upper_bounds) {
+                                         std::vector<double> upper_bounds,
+                                         const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
@@ -161,23 +171,35 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
     }
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
   }
+  if (help != nullptr && help[0] != '\0' && help_[name].empty()) {
+    help_[name] = help;
+  }
   return slot.get();
+}
+
+void MetricsRegistry::SetHelp(const std::string& name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = std::move(help);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const auto help_for = [this](const std::string& name) {
+    auto it = help_.find(name);
+    return it == help_.end() ? std::string() : it->second;
+  };
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    out.counters.push_back({name, counter->Value()});
+    out.counters.push_back({name, counter->Value(), help_for(name)});
   }
   out.gauges.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
-    out.gauges.push_back({name, gauge->Value()});
+    out.gauges.push_back({name, gauge->Value(), help_for(name)});
   }
   out.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
-    out.histograms.push_back({name, histogram->Snapshot()});
+    out.histograms.push_back({name, histogram->Snapshot(), help_for(name)});
   }
   return out;
 }

@@ -100,14 +100,17 @@ struct MetricsSnapshot {
   struct CounterValue {
     std::string name;
     int64_t value = 0;
+    std::string help;  ///< exporter `# HELP` text, empty when unset
   };
   struct GaugeValue {
     std::string name;
     double value = 0.0;
+    std::string help;
   };
   struct HistogramValue {
     std::string name;
     HistogramSnapshot hist;
+    std::string help;
   };
 
   std::vector<CounterValue> counters;
@@ -141,13 +144,19 @@ class MetricsRegistry {
 
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  /// `help` (when non-null) becomes the metric's exporter `# HELP` text;
+  /// the first non-empty help registered for a name wins.
+  Counter* GetCounter(const std::string& name, const char* help = nullptr);
+  Gauge* GetGauge(const std::string& name, const char* help = nullptr);
   /// Empty `upper_bounds` picks the default latency buckets.  If the name is
   /// already registered, the existing histogram is returned and the bounds
   /// argument is ignored.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> upper_bounds = {});
+                          std::vector<double> upper_bounds = {},
+                          const char* help = nullptr);
+
+  /// Sets or replaces a metric's help text independently of registration.
+  void SetHelp(const std::string& name, std::string help);
 
   MetricsSnapshot Snapshot() const;
 
@@ -162,6 +171,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace obs

@@ -6,10 +6,17 @@
 #include <cstring>
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
 
 namespace cdpipe {
 namespace obs {
 namespace {
+
+Counter* TraceDroppedCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("obs.trace_dropped");
+  return counter;
+}
 
 void CopyName(char* dst, size_t dst_size, const char* src) {
   if (src == nullptr) src = "";
@@ -41,6 +48,14 @@ Tracer::Tracer() {
       env != nullptr && env[0] != '\0') {
     dump_path_ = env;
     Enable();
+  }
+  if (const char* env = std::getenv("CDPIPE_TRACE_RING");
+      env != nullptr && env[0] != '\0') {
+    const long parsed = std::atol(env);
+    if (parsed > 0) {
+      ring_capacity_.store(static_cast<size_t>(parsed),
+                           std::memory_order_relaxed);
+    }
   }
 }
 
@@ -84,7 +99,8 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 }
 
 void Tracer::RecordComplete(const char* name, const char* category,
-                            int64_t start_us, int64_t duration_us) {
+                            int64_t start_us, int64_t duration_us,
+                            CorrelationId corr) {
   ThreadBuffer* buffer = BufferForThisThread();
   std::lock_guard<std::mutex> lock(buffer->mu);
   TraceEvent* slot;
@@ -94,6 +110,7 @@ void Tracer::RecordComplete(const char* name, const char* category,
     slot = &buffer->ring.back();
   } else if (buffer->capacity == 0) {
     ++buffer->dropped;
+    TraceDroppedCounter()->Increment();
     return;
   } else {
     // At capacity: `next` is the oldest event; overwrite it.
@@ -101,11 +118,14 @@ void Tracer::RecordComplete(const char* name, const char* category,
     buffer->next = (buffer->next + 1) % buffer->capacity;
     buffer->wrapped = true;
     ++buffer->dropped;
+    TraceDroppedCounter()->Increment();
   }
   CopyName(slot->name, sizeof(slot->name), name);
   CopyName(slot->category, sizeof(slot->category), category);
   slot->start_us = start_us;
   slot->duration_us = duration_us;
+  slot->deployment = corr.deployment;
+  slot->entity = corr.entity;
 }
 
 void Tracer::AppendEventsLocked(
@@ -140,10 +160,15 @@ std::string Tracer::ToChromeTraceJson() const {
     if (i > 0) out += ',';
     out += StrFormat(
         "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\",\"cat\":\"%s\","
-        "\"ts\":%lld,\"dur\":%lld}",
+        "\"ts\":%lld,\"dur\":%lld",
         events[i].first, JsonEscape(e.name).c_str(),
         JsonEscape(e.category).c_str(), static_cast<long long>(e.start_us),
         static_cast<long long>(e.duration_us));
+    if (e.deployment != 0 || e.entity >= 0) {
+      out += StrFormat(",\"args\":{\"deployment\":%u,\"entity\":%lld}",
+                       e.deployment, static_cast<long long>(e.entity));
+    }
+    out += '}';
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

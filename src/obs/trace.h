@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/correlation.h"
 
 namespace cdpipe {
 namespace obs {
@@ -21,6 +22,10 @@ struct TraceEvent {
   char category[16];
   int64_t start_us = 0;     ///< microseconds since tracer epoch
   int64_t duration_us = 0;
+  /// Correlation captured from the recording thread's CorrelationScope;
+  /// emitted as Chrome-trace "args" so spans join up with journal events.
+  uint32_t deployment = 0;  ///< 0 = none
+  int64_t entity = -1;      ///< chunk id / step seq, -1 = none
 };
 
 /// Process-wide span recorder.  Disabled by default: the enabled check is a
@@ -44,9 +49,11 @@ class Tracer {
   static int64_t NowMicros();
 
   /// Appends a completed span to the calling thread's ring buffer.  When the
-  /// ring is full the oldest events are overwritten (counted as dropped).
+  /// ring is full the oldest events are overwritten (counted as dropped and
+  /// reflected in the `obs.trace_dropped` counter).
   void RecordComplete(const char* name, const char* category,
-                      int64_t start_us, int64_t duration_us);
+                      int64_t start_us, int64_t duration_us,
+                      CorrelationId corr = CorrelationId{});
 
   /// Chrome trace format: {"traceEvents":[{"ph":"X",...},...]}.
   std::string ToChromeTraceJson() const;
@@ -64,8 +71,12 @@ class Tracer {
   void Clear();
 
   /// Ring capacity for buffers created after the call (existing buffers are
-  /// unchanged).  Tests only.
+  /// unchanged).  Also configurable at startup via the CDPIPE_TRACE_RING
+  /// environment variable.
   void SetRingCapacityForNewThreads(size_t capacity);
+  size_t ring_capacity_for_new_threads() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
 
   ~Tracer();
 
@@ -101,7 +112,10 @@ class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name, const char* category = "cdpipe")
       : active_(Tracer::Global().enabled()), name_(name), category_(category) {
-    if (active_) start_us_ = Tracer::NowMicros();
+    if (active_) {
+      corr_ = CorrelationScope::Current();
+      start_us_ = Tracer::NowMicros();
+    }
   }
 
   /// Dynamic-name variant (e.g. a pipeline component's name).  The string is
@@ -112,6 +126,7 @@ class ScopedSpan {
     if (active_) {
       owned_name_ = name;
       name_ = owned_name_.c_str();
+      corr_ = CorrelationScope::Current();
       start_us_ = Tracer::NowMicros();
     }
   }
@@ -122,7 +137,7 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (active_) {
       Tracer::Global().RecordComplete(name_, category_, start_us_,
-                                      Tracer::NowMicros() - start_us_);
+                                      Tracer::NowMicros() - start_us_, corr_);
     }
   }
 
@@ -131,6 +146,7 @@ class ScopedSpan {
   const char* name_ = "";
   const char* category_;
   int64_t start_us_ = 0;
+  CorrelationId corr_;
   std::string owned_name_;
 };
 

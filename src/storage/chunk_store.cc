@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/correlation.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 #include "src/testing/fault_injector.h"
 
@@ -144,6 +146,9 @@ bool ChunkStore::Evict(ChunkId id) {
   materialized_order_.erase(pos);
   ++counters_.evictions;
   StoreMetrics::Get().evictions->Increment();
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kEvict, obs::CorrelationScope::WithEntity(id),
+      "features");
   UpdateResidencyGauges();
   return true;
 }
@@ -171,6 +176,9 @@ void ChunkStore::EvictOldestMaterialized() {
   features_.erase(it);
   ++counters_.evictions;
   StoreMetrics::Get().evictions->Increment();
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kEvict, obs::CorrelationScope::WithEntity(victim),
+      "features_lru");
 }
 
 void ChunkStore::DropOldestRaw() {
@@ -183,6 +191,9 @@ void ChunkStore::DropOldestRaw() {
   raw_.erase(raw_it);
   ++counters_.raw_dropped;
   StoreMetrics::Get().raw_dropped->Increment();
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kEvict, obs::CorrelationScope::WithEntity(victim),
+      "raw");
   // A feature chunk must never outlive its raw chunk.
   auto feat_it = features_.find(victim);
   if (feat_it != features_.end()) {

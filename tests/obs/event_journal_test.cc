@@ -1,0 +1,247 @@
+#include "src/obs/event_journal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/correlation.h"
+
+namespace cdpipe {
+namespace obs {
+namespace {
+
+TEST(CorrelationIdTest, ToStringFormats) {
+  EXPECT_EQ((CorrelationId{1, 42}).ToString(), "d1/42");
+  EXPECT_EQ((CorrelationId{1, -1}).ToString(), "d1/-");
+  EXPECT_EQ((CorrelationId{0, 42}).ToString(), "-/42");
+  EXPECT_EQ((CorrelationId{0, -1}).ToString(), "-/-");
+  EXPECT_TRUE((CorrelationId{}).empty());
+  EXPECT_FALSE((CorrelationId{1, -1}).empty());
+}
+
+TEST(CorrelationScopeTest, NestsAndRestores) {
+  EXPECT_TRUE(CorrelationScope::Current().empty());
+  {
+    CorrelationScope outer(1, 10);
+    EXPECT_EQ(CorrelationScope::Current(), (CorrelationId{1, 10}));
+    {
+      CorrelationScope inner(2, 20);
+      EXPECT_EQ(CorrelationScope::Current(), (CorrelationId{2, 20}));
+      EXPECT_EQ(CorrelationScope::WithEntity(99), (CorrelationId{2, 99}));
+    }
+    EXPECT_EQ(CorrelationScope::Current(), (CorrelationId{1, 10}));
+  }
+  EXPECT_TRUE(CorrelationScope::Current().empty());
+}
+
+TEST(CorrelationScopeTest, IsPerThread) {
+  CorrelationScope scope(7, 70);
+  CorrelationId seen_on_other_thread{9, 9};
+  std::thread other([&] { seen_on_other_thread = CorrelationScope::Current(); });
+  other.join();
+  EXPECT_TRUE(seen_on_other_thread.empty());
+  EXPECT_EQ(CorrelationScope::Current(), (CorrelationId{7, 70}));
+}
+
+TEST(EventJournalTest, AppendAndTailRoundTrip) {
+  EventJournal journal(16);
+  journal.Append(EventKind::kIngest, CorrelationId{1, 5}, "records=100");
+  journal.Append(EventKind::kSample, CorrelationId{1, -1}, "hits=3 misses=1");
+
+  const std::vector<JournalEvent> tail = journal.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].kind, EventKind::kIngest);
+  EXPECT_EQ(tail[0].corr, (CorrelationId{1, 5}));
+  EXPECT_STREQ(tail[0].detail, "records=100");
+  EXPECT_EQ(tail[1].kind, EventKind::kSample);
+  EXPECT_GE(tail[1].timestamp_us, tail[0].timestamp_us);
+  EXPECT_EQ(journal.TotalAppended(), 2u);
+  EXPECT_EQ(journal.TotalDropped(), 0u);
+}
+
+TEST(EventJournalTest, PicksUpCorrelationScope) {
+  EventJournal journal(16);
+  {
+    CorrelationScope scope(3, 33);
+    journal.Append(EventKind::kTrainStep, "rows=64");
+  }
+  journal.Append(EventKind::kStall, "engine");
+  const std::vector<JournalEvent> tail = journal.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].corr, (CorrelationId{3, 33}));
+  EXPECT_TRUE(tail[1].corr.empty());
+}
+
+TEST(EventJournalTest, DisableSuppressesAppends) {
+  EventJournal journal(16);
+  journal.Disable();
+  journal.Append(EventKind::kIngest, "while-disabled");
+  EXPECT_EQ(journal.TotalAppended(), 0u);
+  journal.Enable();
+  journal.Append(EventKind::kIngest, "while-enabled");
+  EXPECT_EQ(journal.TotalAppended(), 1u);
+}
+
+TEST(EventJournalTest, WrapDropsOldestWithExactAccounting) {
+  EventJournal journal(4);
+  for (int i = 0; i < 10; ++i) {
+    journal.Append(EventKind::kIngest, CorrelationId{1, i}, "");
+  }
+  EXPECT_EQ(journal.TotalAppended(), 10u);
+  EXPECT_EQ(journal.TotalDropped(), 6u);
+
+  const std::vector<JournalEvent> tail = journal.Tail(10);
+  ASSERT_EQ(tail.size(), 4u);
+  // Newest four survive, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tail[i].corr.entity, 6 + i);
+  }
+}
+
+TEST(EventJournalTest, TruncatesLongDetail) {
+  EventJournal journal(4);
+  const std::string long_detail(200, 'd');
+  journal.Append(EventKind::kIngest, long_detail.c_str());
+  const std::vector<JournalEvent> tail = journal.Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(std::strlen(tail[0].detail), sizeof(tail[0].detail) - 1);
+}
+
+TEST(EventJournalTest, TailToJsonShape) {
+  EventJournal journal(8);
+  journal.Append(EventKind::kMaterializeMiss, CorrelationId{2, 7},
+                 "quote\"back\\slash");
+  const std::string json = journal.TailToJson(8);
+  EXPECT_EQ(json.rfind("{\"appended\":1,\"dropped\":0,\"capacity\":8,", 0), 0u)
+      << json;
+  EXPECT_NE(json.find("\"kind\":\"materialize_miss\""), std::string::npos);
+  EXPECT_NE(json.find("\"deployment\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"entity\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(EventJournalTest, ClearResetsState) {
+  EventJournal journal(4);
+  for (int i = 0; i < 6; ++i) journal.Append(EventKind::kEvict, "");
+  journal.Clear();
+  EXPECT_EQ(journal.TotalAppended(), 0u);
+  EXPECT_EQ(journal.TotalDropped(), 0u);
+  EXPECT_TRUE(journal.Tail(10).empty());
+  journal.Append(EventKind::kIngest, "fresh");
+  EXPECT_EQ(journal.Tail(10).size(), 1u);
+}
+
+TEST(EventJournalTest, EventKindNamesAreStable) {
+  EXPECT_STREQ(EventKindName(EventKind::kIngest), "ingest");
+  EXPECT_STREQ(EventKindName(EventKind::kMaterializeHit), "materialize_hit");
+  EXPECT_STREQ(EventKindName(EventKind::kDriftTrigger), "drift_trigger");
+  EXPECT_STREQ(EventKindName(EventKind::kStall), "stall");
+  EXPECT_STREQ(EventKindName(EventKind::kRecover), "recover");
+}
+
+// Multi-producer correctness: no lost appends, exact drop accounting, and
+// per-producer sequence numbers that stay dense and monotonic.  Run under
+// TSan in CI.
+TEST(EventJournalTest, MultiProducerNoLostUpdates) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  // Large enough that nothing wraps: every append must be retrievable.
+  EventJournal journal(kThreads * kPerThread);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Append(EventKind::kIngest, CorrelationId{1, t}, "mp");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(journal.TotalAppended(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(journal.TotalDropped(), 0u);
+
+  const std::vector<JournalEvent> tail =
+      journal.Tail(kThreads * kPerThread);
+  ASSERT_EQ(tail.size(), static_cast<size_t>(kThreads * kPerThread));
+
+  // Each producer's sequence numbers are exactly 1..kPerThread.
+  std::map<uint32_t, std::vector<uint64_t>> seqs_by_producer;
+  for (const JournalEvent& e : tail) {
+    seqs_by_producer[e.producer].push_back(e.seq);
+  }
+  ASSERT_EQ(seqs_by_producer.size(), static_cast<size_t>(kThreads));
+  for (auto& [producer, seqs] : seqs_by_producer) {
+    ASSERT_EQ(seqs.size(), static_cast<size_t>(kPerThread))
+        << "producer " << producer;
+    std::sort(seqs.begin(), seqs.end());
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_EQ(seqs[i], static_cast<uint64_t>(i + 1))
+          << "producer " << producer;
+    }
+  }
+}
+
+TEST(EventJournalTest, MultiProducerWrapKeepsAccountingExact) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  constexpr size_t kCapacity = 64;
+  EventJournal journal(kCapacity);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Append(EventKind::kEvict, "wrap");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const uint64_t appended = journal.TotalAppended();
+  EXPECT_EQ(appended, static_cast<uint64_t>(kThreads * kPerThread));
+  // Drop-oldest invariant with no appends in flight: everything not live in
+  // the ring was counted as dropped.
+  EXPECT_EQ(journal.TotalDropped(), appended - kCapacity);
+  EXPECT_EQ(journal.Tail(kCapacity * 2).size(), kCapacity);
+}
+
+// Readers racing writers: Tail must only ever return fully published
+// events (never torn ones) and must not crash or hang.  Run under TSan.
+TEST(EventJournalTest, ConcurrentReadersSeeConsistentEvents) {
+  EventJournal journal(32);
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      journal.Append(EventKind::kIngest, CorrelationId{1, i % 97},
+                     "payload-with-fixed-text");
+      ++i;
+    }
+  });
+  std::thread reader([&] {
+    for (int pass = 0; pass < 200; ++pass) {
+      for (const JournalEvent& e : journal.Tail(32)) {
+        ASSERT_EQ(e.kind, EventKind::kIngest);
+        ASSERT_EQ(e.corr.deployment, 1u);
+        ASSERT_STREQ(e.detail, "payload-with-fixed-text");
+      }
+    }
+  });
+  reader.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdpipe

@@ -325,6 +325,118 @@ TEST(ExportersTest, JsonFormatParsesStructurally) {
   EXPECT_EQ(brackets, 0);
 }
 
+TEST(ExportersTest, HelpTextEscaping) {
+  EXPECT_EQ(PrometheusEscapeHelp("plain help"), "plain help");
+  EXPECT_EQ(PrometheusEscapeHelp("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(PrometheusEscapeHelp("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ExportersTest, HelpLinesPrecedeTypeLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("helped.counter", "Counts things.\nSecond line \\ ok");
+  registry.GetGauge("helped.gauge", "Current level");
+  registry.GetHistogram("helped.hist", {1.0, 2.0}, "Latency");
+  registry.GetCounter("plain.counter");  // no help -> no HELP line
+
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  const size_t help_pos =
+      text.find("# HELP cdpipe_helped_counter Counts things.\\nSecond line "
+                "\\\\ ok\n");
+  const size_t type_pos = text.find("# TYPE cdpipe_helped_counter counter\n");
+  ASSERT_NE(help_pos, std::string::npos) << text;
+  ASSERT_NE(type_pos, std::string::npos);
+  EXPECT_LT(help_pos, type_pos);
+  EXPECT_NE(text.find("# HELP cdpipe_helped_gauge Current level\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP cdpipe_helped_hist Latency\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# HELP cdpipe_plain_counter"), std::string::npos);
+
+  // First non-empty help wins; SetHelp overrides.
+  registry.GetCounter("helped.counter", "different help");
+  EXPECT_NE(ToPrometheusText(registry.Snapshot())
+                .find("# HELP cdpipe_helped_counter Counts things."),
+            std::string::npos);
+  registry.SetHelp("helped.counter", "replaced");
+  EXPECT_NE(ToPrometheusText(registry.Snapshot())
+                .find("# HELP cdpipe_helped_counter replaced\n"),
+            std::string::npos);
+}
+
+// Line-by-line format-compliance check against the text exposition format:
+// every line is a comment (`# HELP`/`# TYPE`) or a `name[{labels}] value`
+// sample with a legal metric name and a parseable value.
+TEST(ExportersTest, PrometheusOutputIsFormatCompliant) {
+  MetricsRegistry registry;
+  registry.GetCounter("compliance.requests", "Requests served")->Add(7);
+  registry.GetGauge("compliance.level")->Set(-2.5);
+  registry.GetHistogram("compliance.latency", {0.1, 1.0, 10.0},
+                        "Request latency");
+  registry.GetHistogram("compliance.latency")->Observe(0.5);
+  registry.GetCounter("weird-name/with.bad chars")->Increment();
+
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n') << "exposition must end with a newline";
+
+  const auto is_name_char = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+  };
+  size_t start = 0;
+  int samples = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample line: <name>[{label="value"}] <value>
+    size_t i = 0;
+    ASSERT_TRUE(is_name_char(line[0], true)) << line;
+    while (i < line.size() && is_name_char(line[i], false)) ++i;
+    EXPECT_EQ(line.compare(0, 7, "cdpipe_"), 0) << line;
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      const std::string labels = line.substr(i + 1, close - i - 1);
+      EXPECT_NE(labels.find("=\""), std::string::npos) << line;
+      i = close + 1;
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    const std::string value = line.substr(i + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    // Parseable as a double and consumes the whole token.
+    size_t consumed = 0;
+    (void)std::stod(value, &consumed);
+    EXPECT_EQ(consumed, value.size()) << line;
+    ++samples;
+  }
+  // 3 plain metrics + sanitized metric + histogram (3 finite buckets +
+  // +Inf + sum + count).
+  EXPECT_EQ(samples, 9);
+
+  // Histogram buckets are cumulative and le="+Inf" equals _count.
+  EXPECT_NE(text.find("cdpipe_compliance_latency_bucket{le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cdpipe_compliance_latency_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cdpipe_compliance_latency_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdpipe_compliance_latency histogram"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace cdpipe

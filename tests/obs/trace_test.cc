@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/obs/correlation.h"
+#include "src/obs/metrics.h"
 
 namespace cdpipe {
 namespace obs {
@@ -188,6 +190,47 @@ TEST_F(TraceTest, NowMicrosIsMonotonic) {
   const int64_t b = Tracer::NowMicros();
   EXPECT_GE(b, a);
   EXPECT_GE(a, 0);
+}
+
+TEST_F(TraceTest, SpansCaptureCorrelationScope) {
+  Tracer::Global().Enable();
+  {
+    CorrelationScope scope(1, 42);
+    CDPIPE_TRACE_SPAN("correlated", "test");
+  }
+  {
+    CDPIPE_TRACE_SPAN("uncorrelated", "test");
+  }
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  // The correlated span carries its ids as Chrome-trace args; the
+  // uncorrelated one omits the args object entirely.
+  const size_t correlated = json.find("\"name\":\"correlated\"");
+  ASSERT_NE(correlated, std::string::npos);
+  const size_t args = json.find(
+      "\"args\":{\"deployment\":1,\"entity\":42}", correlated);
+  const size_t next_event = json.find('}', json.find('}', correlated) + 1);
+  EXPECT_NE(args, std::string::npos) << json;
+  const size_t uncorrelated = json.find("\"name\":\"uncorrelated\"");
+  ASSERT_NE(uncorrelated, std::string::npos);
+  EXPECT_EQ(json.find("\"args\"", uncorrelated), std::string::npos);
+  (void)next_event;
+}
+
+TEST_F(TraceTest, DropsFeedTheTraceDroppedCounter) {
+  obs::Counter* dropped =
+      MetricsRegistry::Global().GetCounter("obs.trace_dropped");
+  const int64_t before = dropped->Value();
+  Tracer::Global().SetRingCapacityForNewThreads(2);
+  Tracer::Global().Enable();
+  std::thread recorder([] {
+    for (int i = 0; i < 7; ++i) {
+      Tracer::Global().RecordComplete("drop-me", "test", i, 1);
+    }
+  });
+  recorder.join();
+  Tracer::Global().Disable();
+  EXPECT_EQ(dropped->Value() - before, 5);
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// End-to-end observability: a full deployment run must leave a coherent
+// story in the event journal — every chunk's lifecycle causally ordered
+// under one correlation id — and the watchdog must catch an injected
+// engine stall in flight.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/obs/event_journal.h"
+#include "src/obs/health.h"
+#include "src/obs/obs_server.h"
+#include "tests/scenarios/scenario_runner.h"
+
+namespace cdpipe {
+namespace testing {
+namespace {
+
+using obs::EventJournal;
+using obs::EventKind;
+using obs::JournalEvent;
+
+std::vector<JournalEvent> EventsOfKind(const std::vector<JournalEvent>& all,
+                                       EventKind kind) {
+  std::vector<JournalEvent> out;
+  for (const JournalEvent& e : all) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(ObservabilityScenarioTest, JournalTellsACausallyOrderedChunkStory) {
+  EventJournal& journal = EventJournal::Global();
+  journal.Clear();
+
+  Scenario scenario;
+  scenario.name = "journal-causality";
+  scenario.store.max_materialized_chunks = 4;  // force materialize misses
+  const ScenarioResult result = RunScenario(scenario);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  const std::vector<JournalEvent> events = journal.Tail(journal.capacity());
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(journal.TotalDropped(), 0u)
+      << "run must fit in the default ring";
+
+  const std::vector<JournalEvent> ingests =
+      EventsOfKind(events, EventKind::kIngest);
+  const std::vector<JournalEvent> train_steps =
+      EventsOfKind(events, EventKind::kTrainStep);
+  ASSERT_FALSE(ingests.empty());
+  ASSERT_FALSE(train_steps.empty());
+  EXPECT_FALSE(EventsOfKind(events, EventKind::kSample).empty());
+
+  // Every event of the run is attributed to the same (single) deployment.
+  const uint32_t deployment = ingests.front().corr.deployment;
+  ASSERT_NE(deployment, 0u);
+  for (const JournalEvent& e : ingests) {
+    EXPECT_EQ(e.corr.deployment, deployment);
+    EXPECT_GE(e.corr.entity, 0) << "ingest must carry the chunk id";
+  }
+  for (const JournalEvent& e : train_steps) {
+    EXPECT_EQ(e.corr.deployment, deployment);
+  }
+
+  // Causality per chunk: ingest happens-before any materialize hit/miss
+  // and before any recompute of that chunk, and some train step follows.
+  std::map<int64_t, int64_t> ingest_ts;
+  for (const JournalEvent& e : ingests) {
+    ingest_ts[e.corr.entity] = e.timestamp_us;
+  }
+  size_t chains_checked = 0;
+  for (const JournalEvent& e : events) {
+    if (e.kind != EventKind::kMaterializeHit &&
+        e.kind != EventKind::kMaterializeMiss &&
+        e.kind != EventKind::kRecompute) {
+      continue;
+    }
+    auto it = ingest_ts.find(e.corr.entity);
+    ASSERT_NE(it, ingest_ts.end())
+        << "chunk " << e.corr.entity << " was sampled but never ingested";
+    EXPECT_LE(it->second, e.timestamp_us)
+        << "ingest must precede materialization of chunk " << e.corr.entity;
+    const bool trained_after = std::any_of(
+        train_steps.begin(), train_steps.end(), [&](const JournalEvent& t) {
+          return t.timestamp_us >= e.timestamp_us;
+        });
+    EXPECT_TRUE(trained_after)
+        << "a sampled chunk must feed a subsequent train step";
+    ++chains_checked;
+  }
+  EXPECT_GT(chains_checked, 0u);
+
+  // Per-producer sequence numbers are strictly increasing in ring order —
+  // the journal lost nothing and never reordered a thread's own events.
+  std::map<uint32_t, uint64_t> last_seq;
+  for (const JournalEvent& e : events) {
+    auto [it, inserted] = last_seq.try_emplace(e.producer, e.seq);
+    if (!inserted) {
+      EXPECT_GT(e.seq, it->second) << "producer " << e.producer;
+      it->second = e.seq;
+    }
+  }
+  journal.Clear();
+}
+
+TEST(ObservabilityScenarioTest, WatchdogCatchesInjectedEngineStall) {
+  EventJournal& journal = EventJournal::Global();
+  journal.Clear();
+
+  obs::Watchdog::Options watchdog_options;
+  watchdog_options.stall_deadline_seconds = 0.05;
+  watchdog_options.poll_interval_seconds = 0.01;
+  obs::Watchdog watchdog(watchdog_options);
+  watchdog.Start();
+
+  Scenario scenario;
+  scenario.name = "engine-stall";
+  scenario.store.max_materialized_chunks = 4;
+  FaultRule stall = FaultRule::EveryN(10);
+  stall.delay_seconds = 0.25;  // 5x the watchdog deadline
+  scenario.faults = {{"engine.slow_task", stall}};
+
+  const ScenarioResult result = RunScenario(scenario);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  EXPECT_GT(result.report.faults_injected, 0)
+      << "the slow-task site never fired; the stall was not exercised";
+
+  // The watchdog must have seen the engine go busy-but-silent mid-run.
+  EXPECT_GE(watchdog.stall_events(), 1);
+  // And once the delayed task finished, the engine recovered.
+  for (int i = 0; i < 100 && !watchdog.ready(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(watchdog.ready());
+  EXPECT_GE(watchdog.recover_events(), 1);
+  watchdog.Stop();
+
+  const std::vector<JournalEvent> events = journal.Tail(journal.capacity());
+  const std::vector<JournalEvent> stalls =
+      EventsOfKind(events, EventKind::kStall);
+  ASSERT_FALSE(stalls.empty());
+  // The engine is where the delay is injected; subsystems blocked on it
+  // (deployment, trainer) may legitimately report stalled as well.
+  const bool engine_stalled = std::any_of(
+      stalls.begin(), stalls.end(), [](const JournalEvent& e) {
+        return std::string(e.detail) == "engine";
+      });
+  EXPECT_TRUE(engine_stalled);
+
+  // The obs server wired to the same watchdog reflects the recovery.
+  obs::ObsServer::Options server_options;
+  server_options.watchdog = &watchdog;
+  obs::ObsServer server(server_options);
+  const std::string readyz =
+      server.HandleRequest("GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(readyz.find("\"ready\":true"), std::string::npos)
+      << "recovered engine must report ready again: " << readyz;
+  journal.Clear();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cdpipe
