@@ -9,13 +9,18 @@
 // the seed row-at-a-time pipeline before the columnar batch path landed:
 //
 //   bench_component_throughput [--min_seconds=0.5] [--label=columnar]
-//       [--json_out=path] [--obs=0]
+//       [--json_out=path] [--obs=0] [--mode=interpreted|fused|both]
 //
-// Compare against BENCH_components.json (label "seed-row-path") to read
-// the columnar speedup per component.  `--obs=1` runs the identical suite
-// with the whole observability plane live (event journal, watchdog, HTTP
-// obs server on an ephemeral port) — diff the two labels to measure the
-// plane's overhead on hot transform loops.
+// Compare against BENCH_components.json to read the speedup per component.
+// `--mode` selects the execution mode of the Full*PipelineTransform rows:
+// the interpreted component-at-a-time loop, the fused per-schema block
+// plan, or both (the default; the run then ends with an x-factor summary
+// of fused over interpreted per workload).  Component micro rows always
+// run interpreted — they time a single component, so there is no chain to
+// fuse.  `--obs=1` runs the identical suite with the whole observability
+// plane live (event journal, watchdog, HTTP obs server on an ephemeral
+// port) — diff the two labels to measure the plane's overhead on hot
+// transform loops.
 
 #include <cstdio>
 #include <fstream>
@@ -43,6 +48,7 @@ namespace {
 
 struct BenchResult {
   std::string name;
+  std::string mode = "interpreted";
   size_t batch_rows = 0;
   double rows_per_second = 0.0;
 };
@@ -52,7 +58,8 @@ struct BenchResult {
 /// rows/second.
 BenchResult TimeRowsPerSecond(const std::string& name, size_t batch_rows,
                               double min_seconds,
-                              const std::function<void()>& body) {
+                              const std::function<void()>& body,
+                              const std::string& mode = "interpreted") {
   body();  // warm-up (touches lazy caches, faults pages)
   size_t iterations = 0;
   Stopwatch watch;
@@ -63,11 +70,13 @@ BenchResult TimeRowsPerSecond(const std::string& name, size_t batch_rows,
   const double seconds = watch.ElapsedSeconds();
   BenchResult result;
   result.name = name;
+  result.mode = mode;
   result.batch_rows = batch_rows;
   result.rows_per_second =
       static_cast<double>(iterations * batch_rows) / seconds;
-  std::printf("%-28s rows=%-5zu  %12.0f rows/s  (%zu iters)\n", name.c_str(),
-              batch_rows, result.rows_per_second, iterations);
+  std::printf("%-28s %-11s rows=%-5zu  %12.0f rows/s  (%zu iters)\n",
+              name.c_str(), mode.c_str(), batch_rows, result.rows_per_second,
+              iterations);
   return result;
 }
 
@@ -110,7 +119,8 @@ DataBatch ParsedTaxi(const RawChunk& chunk) {
       .ValueOrDie();
 }
 
-void RunSuite(double min_seconds, std::vector<BenchResult>* results) {
+void RunSuite(double min_seconds, bool run_interpreted, bool run_fused,
+              std::vector<BenchResult>* results) {
   const std::vector<size_t> batch_sizes = {64, 512};
 
   for (size_t rows : batch_sizes) {
@@ -194,9 +204,24 @@ void RunSuite(double min_seconds, std::vector<BenchResult>* results) {
     UrlStreamGenerator generator(stream_config);
     const RawChunk chunk = generator.NextChunk();
     (void)pipeline->UpdateAndTransform(chunk);
-    results->push_back(TimeRowsPerSecond(
-        "FullUrlPipelineTransform", rows, min_seconds,
-        [&] { (void)pipeline->Transform(chunk); }));
+    if (run_interpreted) {
+      results->push_back(TimeRowsPerSecond(
+          "FullUrlPipelineTransform", rows, min_seconds,
+          [&] {
+            (void)pipeline->Transform(chunk, nullptr, nullptr,
+                                      ExecMode::kInterpreted);
+          },
+          "interpreted"));
+    }
+    if (run_fused) {
+      results->push_back(TimeRowsPerSecond(
+          "FullUrlPipelineTransform", rows, min_seconds,
+          [&] {
+            (void)pipeline->Transform(chunk, nullptr, nullptr,
+                                      ExecMode::kFused);
+          },
+          "fused"));
+    }
   }
 
   for (size_t rows : batch_sizes) {
@@ -206,9 +231,24 @@ void RunSuite(double min_seconds, std::vector<BenchResult>* results) {
     TaxiStreamGenerator generator(stream_config);
     const RawChunk chunk = generator.NextChunk();
     (void)pipeline->UpdateAndTransform(chunk);
-    results->push_back(TimeRowsPerSecond(
-        "FullTaxiPipelineTransform", rows, min_seconds,
-        [&] { (void)pipeline->Transform(chunk); }));
+    if (run_interpreted) {
+      results->push_back(TimeRowsPerSecond(
+          "FullTaxiPipelineTransform", rows, min_seconds,
+          [&] {
+            (void)pipeline->Transform(chunk, nullptr, nullptr,
+                                      ExecMode::kInterpreted);
+          },
+          "interpreted"));
+    }
+    if (run_fused) {
+      results->push_back(TimeRowsPerSecond(
+          "FullTaxiPipelineTransform", rows, min_seconds,
+          [&] {
+            (void)pipeline->Transform(chunk, nullptr, nullptr,
+                                      ExecMode::kFused);
+          },
+          "fused"));
+    }
   }
 }
 
@@ -218,6 +258,14 @@ int Main(int argc, char** argv) {
   const std::string label = flags.GetString("label", "columnar");
   const std::string json_out = flags.GetString("json_out", "");
   const bool obs_on = flags.GetDouble("obs", 0) != 0;
+  const std::string mode = flags.GetString("mode", "both");
+  if (mode != "interpreted" && mode != "fused" && mode != "both") {
+    std::fprintf(stderr, "unknown --mode=%s (interpreted|fused|both)\n",
+                 mode.c_str());
+    return 1;
+  }
+  const bool run_interpreted = mode != "fused";
+  const bool run_fused = mode != "interpreted";
 
   // Normalize glibc to its multi-threaded code paths in BOTH modes before
   // timing anything: the first thread a process ever creates permanently
@@ -247,10 +295,28 @@ int Main(int argc, char** argv) {
     std::printf("obs plane live on http://127.0.0.1:%u\n", server->port());
   }
 
-  std::printf("component throughput (label=%s, min_seconds=%.2f, obs=%d)\n",
-              label.c_str(), min_seconds, obs_on ? 1 : 0);
+  std::printf(
+      "component throughput (label=%s, min_seconds=%.2f, obs=%d, mode=%s)\n",
+      label.c_str(), min_seconds, obs_on ? 1 : 0, mode.c_str());
   std::vector<BenchResult> results;
-  RunSuite(min_seconds, &results);
+  RunSuite(min_seconds, run_interpreted, run_fused, &results);
+
+  // X-factor summary: fused over interpreted for every row that ran in
+  // both modes.
+  if (run_interpreted && run_fused) {
+    std::printf("\nfused speedup over interpreted:\n");
+    for (const BenchResult& fused : results) {
+      if (fused.mode != "fused") continue;
+      for (const BenchResult& interp : results) {
+        if (interp.mode == "interpreted" && interp.name == fused.name &&
+            interp.batch_rows == fused.batch_rows) {
+          std::printf("  %s@%zu: %.2fx\n", fused.name.c_str(),
+                      fused.batch_rows,
+                      fused.rows_per_second / interp.rows_per_second);
+        }
+      }
+    }
+  }
 
   if (!json_out.empty()) {
     std::ofstream out(json_out, std::ios::trunc);
@@ -263,10 +329,11 @@ int Main(int argc, char** argv) {
     out << "  \"results\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       out << StrFormat(
-          "    {\"name\": \"%s\", \"batch_rows\": %zu, "
+          "    {\"name\": \"%s\", \"mode\": \"%s\", \"batch_rows\": %zu, "
           "\"rows_per_second\": %.1f}%s\n",
-          results[i].name.c_str(), results[i].batch_rows,
-          results[i].rows_per_second, i + 1 < results.size() ? "," : "");
+          results[i].name.c_str(), results[i].mode.c_str(),
+          results[i].batch_rows, results[i].rows_per_second,
+          i + 1 < results.size() ? "," : "");
     }
     out << "  ]\n}\n";
     if (!out.good()) {

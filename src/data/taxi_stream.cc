@@ -137,32 +137,20 @@ std::unique_ptr<Pipeline> MakeTaxiPipeline() {
       pipeline->AddComponent(std::make_unique<TaxiFeatureExtractor>()).ok());
 
   // Trips longer than 22 hours, shorter than 10 seconds, or with zero
-  // distance are anomalies (§5.1).
-  auto keep = [](const TableData& table,
-                 std::vector<uint8_t>* mask) -> Status {
-    CDPIPE_ASSIGN_OR_RETURN(size_t duration_idx,
-                            table.schema()->FieldIndex("duration_s"));
-    CDPIPE_ASSIGN_OR_RETURN(size_t distance_idx,
-                            table.schema()->FieldIndex("haversine_km"));
-    CDPIPE_ASSIGN_OR_RETURN(
-        NumericColumnView duration,
-        NumericColumnView::Of(table.column(duration_idx), "duration_s"));
-    CDPIPE_ASSIGN_OR_RETURN(
-        NumericColumnView distance,
-        NumericColumnView::Of(table.column(distance_idx), "haversine_km"));
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      if (duration.IsNull(r) || distance.IsNull(r)) {
-        (*mask)[r] = 0;
-        continue;
-      }
-      const double d = duration[r];
-      (*mask)[r] = d >= 10.0 && d <= 22.0 * 3600.0 && distance[r] > 0.0;
-    }
-    return Status::OK();
-  };
+  // distance are anomalies (§5.1).  Declarative rules (rather than a custom
+  // predicate) keep the filter eligible for pipeline fusion.
+  std::vector<AnomalyFilter::Rule> sanity_rules;
+  sanity_rules.push_back(AnomalyFilter::Rule{"duration_s", 10.0, 22.0 * 3600.0,
+                                             /*min_exclusive=*/false,
+                                             /*max_exclusive=*/false});
+  AnomalyFilter::Rule positive_distance;
+  positive_distance.column = "haversine_km";
+  positive_distance.min = 0.0;
+  positive_distance.min_exclusive = true;
+  sanity_rules.push_back(positive_distance);
   CDPIPE_CHECK(pipeline
                    ->AddComponent(std::make_unique<AnomalyFilter>(
-                       "taxi-trip-sanity", std::move(keep)))
+                       "taxi-trip-sanity", std::move(sanity_rules)))
                    .ok());
 
   StandardScaler::Options scaler;

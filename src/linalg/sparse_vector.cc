@@ -34,13 +34,29 @@ Result<SparseVector> SparseVector::FromSorted(uint32_t dim,
   return out;
 }
 
+SparseVector SparseVector::FromSortedUnchecked(uint32_t dim,
+                                               std::vector<uint32_t> indices,
+                                               std::vector<double> values) {
+#ifndef NDEBUG
+  CDPIPE_CHECK_EQ(indices.size(), values.size());
+  for (size_t k = 0; k < indices.size(); ++k) {
+    CDPIPE_CHECK_LT(indices[k], dim);
+    if (k > 0) CDPIPE_CHECK_LT(indices[k - 1], indices[k]);
+  }
+#endif
+  SparseVector out(dim);
+  out.indices_ = std::move(indices);
+  out.values_ = std::move(values);
+  return out;
+}
+
 SparseVector SparseVector::FromUnsorted(
     uint32_t dim, std::vector<std::pair<uint32_t, double>> entries) {
   return FromUnsortedInto(dim, &entries);
 }
 
-SparseVector SparseVector::FromUnsortedInto(
-    uint32_t dim, std::vector<std::pair<uint32_t, double>>* scratch) {
+void SparseVector::SortAndCombineInto(
+    std::vector<std::pair<uint32_t, double>>* scratch) {
   std::vector<std::pair<uint32_t, double>>& entries = *scratch;
   // Strictly increasing inputs (common: parsers emit index-ordered records)
   // skip the sort.  The fast path requires *strict* order — with duplicate
@@ -54,21 +70,32 @@ SparseVector SparseVector::FromUnsortedInto(
       break;
     }
   }
-  if (!strictly_sorted) {
-    std::sort(entries.begin(), entries.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (strictly_sorted) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Sum duplicates left to right into the first occurrence.
+  size_t w = 0;
+  for (size_t k = 1; k < entries.size(); ++k) {
+    if (entries[k].first == entries[w].first) {
+      entries[w].second += entries[k].second;
+    } else {
+      entries[++w] = entries[k];
+    }
   }
+  if (!entries.empty()) entries.resize(w + 1);
+}
+
+SparseVector SparseVector::FromUnsortedInto(
+    uint32_t dim, std::vector<std::pair<uint32_t, double>>* scratch) {
+  SortAndCombineInto(scratch);
+  const std::vector<std::pair<uint32_t, double>>& entries = *scratch;
   SparseVector out(dim);
   out.indices_.reserve(entries.size());
   out.values_.reserve(entries.size());
   for (const auto& [index, value] : entries) {
     CDPIPE_CHECK_LT(index, dim);
-    if (!out.indices_.empty() && out.indices_.back() == index) {
-      out.values_.back() += value;  // Duplicate indices accumulate.
-    } else {
-      out.indices_.push_back(index);
-      out.values_.push_back(value);
-    }
+    out.indices_.push_back(index);
+    out.values_.push_back(value);
   }
   return out;
 }

@@ -26,6 +26,16 @@ class SparseVector {
                                          std::vector<uint32_t> indices,
                                          std::vector<double> values);
 
+  /// Adopts parallel arrays without per-entry re-validation; the caller
+  /// guarantees strictly increasing indices < dim.  Fused block kernels use
+  /// this for rows whose entries already hold the collapsed VecBlock
+  /// invariant (sorted, duplicates summed), where FromSorted's per-entry
+  /// checks would re-prove what the kernel just established.  Debug builds
+  /// re-assert the invariants.
+  static SparseVector FromSortedUnchecked(uint32_t dim,
+                                          std::vector<uint32_t> indices,
+                                          std::vector<double> values);
+
   /// Constructs from possibly unsorted (index, value) pairs; duplicate
   /// indices are summed.
   static SparseVector FromUnsorted(
@@ -38,6 +48,16 @@ class SparseVector {
   /// `FromUnsorted(dim, *scratch)`.
   static SparseVector FromUnsortedInto(
       uint32_t dim, std::vector<std::pair<uint32_t, double>>* scratch);
+
+  /// The preprocessing FromUnsorted applies before construction, exposed so
+  /// fused kernels can collapse entries without materializing a vector:
+  /// sorts `*scratch` by index (strictly increasing inputs skip the sort)
+  /// and sums duplicate indices in place, left to right, leaving the buffer
+  /// strictly sorted.  The summation order is exactly the one
+  /// FromUnsortedInto uses, so downstream per-entry transforms see
+  /// bit-identical values either way.
+  static void SortAndCombineInto(
+      std::vector<std::pair<uint32_t, double>>* scratch);
 
   /// Reserves capacity for `n` entries in both parallel arrays.
   void Reserve(size_t n) {

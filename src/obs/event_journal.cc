@@ -91,6 +91,8 @@ const char* EventKindName(EventKind kind) {
       return "stall";
     case EventKind::kRecover:
       return "recover";
+    case EventKind::kPlanCompile:
+      return "plan_compile";
   }
   return "unknown";
 }

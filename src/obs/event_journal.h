@@ -30,6 +30,7 @@ enum class EventKind : uint8_t {
   kEvict,               ///< feature chunk evicted / raw chunk dropped
   kStall,               ///< watchdog: subsystem heartbeat went silent
   kRecover,             ///< watchdog: stalled subsystem beat again
+  kPlanCompile,         ///< fused transform plan (re)compiled for a pipeline
 };
 
 /// Stable lowercase identifier ("ingest", "materialize_hit", ...).

@@ -5,42 +5,103 @@
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/dataframe/column_ops.h"
+#include "src/pipeline/fusion/fusion.h"
 
 namespace cdpipe {
+
+namespace {
+
+/// Tests one value against a rule's bounds.  Shared by the interpreted
+/// predicate and the fused kernel so both evaluate the exact same
+/// comparisons (NaN fails every bound and is dropped on both paths).
+inline bool InRange(double d, const AnomalyFilter::Rule& rule) {
+  const bool above = rule.min_exclusive ? d > rule.min : d >= rule.min;
+  const bool below = rule.max_exclusive ? d < rule.max : d <= rule.max;
+  return above && below;
+}
+
+/// Builds the interpreted-path predicate for a rule conjunction.  Each rule
+/// only ever clears keep bits, so evaluation order between rules does not
+/// matter.
+AnomalyFilter::Predicate MakeRulePredicate(
+    std::vector<AnomalyFilter::Rule> rules) {
+  return [rules = std::move(rules)](const TableData& table,
+                                    std::vector<uint8_t>* keep) -> Status {
+    for (const AnomalyFilter::Rule& rule : rules) {
+      CDPIPE_ASSIGN_OR_RETURN(size_t idx,
+                              table.schema()->FieldIndex(rule.column));
+      CDPIPE_ASSIGN_OR_RETURN(
+          NumericColumnView view,
+          NumericColumnView::Of(table.column(idx), rule.column));
+      const size_t rows = view.size();
+      for (size_t r = 0; r < rows; ++r) {
+        if ((*keep)[r] == 0) continue;
+        if (view.IsNull(r) || !InRange(view[r], rule)) (*keep)[r] = 0;
+      }
+    }
+    return Status::OK();
+  };
+}
+
+/// Fused kernel for a rule filter: flips keep bits on the shared table
+/// block instead of materializing a filtered table.  Downstream stages see
+/// the same surviving row set, in the same order, as the interpreted
+/// path's Filter().
+class FilterTableStage final : public fusion::FusedStage {
+ public:
+  struct CompiledRule {
+    size_t slot;
+    AnomalyFilter::Rule rule;
+  };
+
+  FilterTableStage(const AnomalyFilter* filter, std::vector<CompiledRule> rules)
+      : filter_(filter), rules_(std::move(rules)) {}
+
+  const char* label() const override { return "anomaly_filter"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::TableBlock& table = ctx.scratch->table;
+    ctx.rows_scanned += table.live_rows;
+    size_t dropped = 0;
+    for (const CompiledRule& cr : rules_) {
+      const fusion::BlockColumn& col = table.cols[cr.slot];
+      for (size_t r = 0; r < table.num_rows; ++r) {
+        if (table.keep[r] == 0) continue;
+        if (col.IsNull(r) || !InRange(col.NumericAt(r), cr.rule)) {
+          table.keep[r] = 0;
+          --table.live_rows;
+          ++dropped;
+        }
+      }
+    }
+    if (dropped > 0) filter_->RecordDropped(dropped);
+    return Status::OK();
+  }
+
+ private:
+  const AnomalyFilter* filter_;
+  std::vector<CompiledRule> rules_;
+};
+
+}  // namespace
 
 AnomalyFilter::AnomalyFilter(std::string rule_name, Predicate keep)
     : rule_name_(std::move(rule_name)), keep_(std::move(keep)) {
   CDPIPE_CHECK(keep_ != nullptr);
 }
 
+AnomalyFilter::AnomalyFilter(std::string rule_name, std::vector<Rule> rules)
+    : rule_name_(std::move(rule_name)),
+      keep_(MakeRulePredicate(rules)),
+      rules_(std::move(rules)) {}
+
 std::unique_ptr<AnomalyFilter> AnomalyFilter::KeepInRange(
     const std::string& column, double min, double max) {
-  auto predicate = [column, min, max](const TableData& table,
-                                      std::vector<uint8_t>* keep) -> Status {
-    CDPIPE_ASSIGN_OR_RETURN(size_t idx, table.schema()->FieldIndex(column));
-    CDPIPE_ASSIGN_OR_RETURN(NumericColumnView view,
-                            NumericColumnView::Of(table.column(idx), column));
-    const size_t rows = view.size();
-    if (!view.has_nulls()) {
-      for (size_t r = 0; r < rows; ++r) {
-        const double d = view[r];
-        (*keep)[r] = d >= min && d <= max;
-      }
-    } else {
-      for (size_t r = 0; r < rows; ++r) {
-        if (view.IsNull(r)) {
-          (*keep)[r] = 0;
-          continue;
-        }
-        const double d = view[r];
-        (*keep)[r] = d >= min && d <= max;
-      }
-    }
-    return Status::OK();
-  };
+  std::vector<Rule> rules;
+  rules.push_back(Rule{column, min, max, /*min_exclusive=*/false,
+                       /*max_exclusive=*/false});
   return std::make_unique<AnomalyFilter>(
-      StrFormat("%s in [%g, %g]", column.c_str(), min, max),
-      std::move(predicate));
+      StrFormat("%s in [%g, %g]", column.c_str(), min, max), std::move(rules));
 }
 
 Result<DataBatch> AnomalyFilter::Transform(const DataBatch& batch) const {
@@ -77,8 +138,36 @@ Result<DataBatch> AnomalyFilter::TransformOwned(DataBatch&& batch) const {
   return DataBatch(table->Filter(keep));
 }
 
+Status AnomalyFilter::Fuse(fusion::PlanBuilder* plan) const {
+  if (rules_.empty()) {
+    // Custom predicates are opaque std::functions; only the declarative
+    // rule form compiles into a block kernel.
+    return Status::Unimplemented(
+        "anomaly_filter with a custom predicate cannot fuse");
+  }
+  if (plan->repr() != fusion::PlanBuilder::Repr::kTable) {
+    return Status::FailedPrecondition("anomaly_filter expects a table batch");
+  }
+  std::vector<FilterTableStage::CompiledRule> compiled;
+  compiled.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    // Unknown or string columns decline fusion; the interpreted path owns
+    // reporting those errors with full pipeline context.
+    CDPIPE_ASSIGN_OR_RETURN(size_t slot, plan->SlotOf(rule.column));
+    if (plan->SlotDeclaredType(slot) == ValueType::kString) {
+      return Status::FailedPrecondition("cannot filter non-numeric column " +
+                                        rule.column);
+    }
+    compiled.push_back(FilterTableStage::CompiledRule{slot, rule});
+  }
+  plan->AddStage(std::make_unique<FilterTableStage>(this, std::move(compiled)));
+  return Status::OK();
+}
+
 std::unique_ptr<PipelineComponent> AnomalyFilter::Clone() const {
-  auto out = std::make_unique<AnomalyFilter>(rule_name_, keep_);
+  auto out = rules_.empty()
+                 ? std::make_unique<AnomalyFilter>(rule_name_, keep_)
+                 : std::make_unique<AnomalyFilter>(rule_name_, rules_);
   out->dropped_.store(dropped_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   return out;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/pipeline/fusion/fusion.h"
 
 namespace cdpipe {
 
@@ -60,6 +61,18 @@ Result<DataBatch> ColumnProjector::TransformOwned(DataBatch&& batch) const {
   CDPIPE_ASSIGN_OR_RETURN(
       TableData out, TableData::Make(std::move(schema), std::move(columns)));
   return DataBatch(std::move(out));
+}
+
+Status ColumnProjector::Fuse(fusion::PlanBuilder* plan) const {
+  if (plan->repr() != fusion::PlanBuilder::Repr::kTable) {
+    return Status::FailedPrecondition("column_projector expects a table batch");
+  }
+  // Projection only rewires the plan's logical-field -> physical-slot map;
+  // downstream components compile against the projected schema and the
+  // stage itself does no per-row work at all.
+  CDPIPE_RETURN_NOT_OK(plan->Project(columns_));
+  plan->AddElidedStage("column_projector");
+  return Status::OK();
 }
 
 std::unique_ptr<PipelineComponent> ColumnProjector::Clone() const {

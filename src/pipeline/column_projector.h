@@ -22,6 +22,7 @@ class ColumnProjector : public PipelineComponent {
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
   Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
 
  private:

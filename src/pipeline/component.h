@@ -11,6 +11,10 @@
 
 namespace cdpipe {
 
+namespace fusion {
+class PlanBuilder;
+}  // namespace fusion
+
 /// Component classes from Table 1 of the paper.  The class determines the
 /// unit of work and the size complexity of the output (all our components
 /// are O(p) in the input size; one-hot encoding stays O(p) because it emits
@@ -73,6 +77,20 @@ class PipelineComponent {
   /// `Transform` on the same input.
   virtual Result<DataBatch> TransformOwned(DataBatch&& batch) const {
     return Transform(batch);
+  }
+
+  /// Contributes this component's block kernel(s) to a fused plan under
+  /// construction (see src/pipeline/fusion/fusion.h).  Implementations
+  /// resolve columns, snapshot dispatch decisions, and append stages whose
+  /// output is bit-identical to `Transform` on the same rows.  Returning a
+  /// non-OK status — the default — declines fusion for the whole pipeline;
+  /// the caller then uses the interpreted loop, so declining is never an
+  /// execution error.  Configurations a kernel cannot express exactly
+  /// (wrong column types, unsupported options) must decline rather than
+  /// approximate: the interpreted path owns the error reporting.
+  virtual Status Fuse(fusion::PlanBuilder* plan) const {
+    (void)plan;
+    return Status::Unimplemented("component does not define a block kernel");
   }
 
   /// Discards all statistics, returning the component to its initial state.

@@ -34,9 +34,11 @@ class FeatureHasher : public PipelineComponent {
   }
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
 
   uint32_t output_dim() const { return 1u << options_.bits; }
+  const Options& options() const { return options_; }
 
   /// Bucket for a raw feature index (exposed for tests).
   uint32_t BucketOf(uint32_t index) const;

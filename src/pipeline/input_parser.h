@@ -49,12 +49,44 @@ class InputParser : public PipelineComponent {
   }
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
+
+  const Options& options() const { return options_; }
 
   /// Total records dropped as malformed since construction.
   size_t num_malformed() const {
     return malformed_.load(std::memory_order_relaxed);
   }
+
+  /// Outcome for one record on the drop-malformed path.
+  enum class RowVerdict { kOk, kMalformed };
+
+  /// One CSV cell parsed into its typed slot, pending the verdict on the
+  /// whole record (malformed records are dropped atomically).
+  struct CsvCell {
+    bool null = false;
+    double d = 0.0;
+    int64_t i = 0;
+    std::string_view s;
+  };
+
+  /// Per-row libsvm kernel shared by the interpreted batch path and the
+  /// fused block stage (one compiled body, so outputs are bit-identical):
+  /// parses `line` into uncollapsed (index, value) entries plus the
+  /// (possibly binarized) label, using `*tokens` as reusable scratch.
+  /// Counts a malformed record and returns kMalformed — or InvalidArgument
+  /// in strict mode.  Indices are validated against feature_dim.
+  Result<RowVerdict> ParseLibSvmRecord(
+      std::string_view line, std::vector<std::pair<uint32_t, double>>* entries,
+      double* label, std::vector<std::string_view>* tokens) const;
+
+  /// Per-row CSV kernel, same sharing contract: splits `line` on the
+  /// delimiter into `*fields` and parses each against the csv schema into
+  /// `*cells` (which must be presized to the schema's field count).
+  Result<RowVerdict> ParseCsvRecord(std::string_view line,
+                                    std::vector<std::string_view>* fields,
+                                    std::vector<CsvCell>* cells) const;
 
  private:
   Result<DataBatch> TransformLibSvm(const TableData& table) const;

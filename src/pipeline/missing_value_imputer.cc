@@ -7,8 +7,90 @@
 
 #include "src/common/string_util.h"
 #include "src/dataframe/column_ops.h"
+#include "src/pipeline/fusion/fusion.h"
 
 namespace cdpipe {
+
+namespace {
+
+/// Fused feature-mode kernel: replaces NaN entries in the vector block in
+/// place.  The parser records which rows contain a NaN (`nan_rows`); the
+/// fill scan touches only those rows, and a block with none — the
+/// overwhelmingly common case — is skipped entirely and counted as a
+/// runtime elision.
+class ImputeVecStage final : public fusion::FusedStage {
+ public:
+  explicit ImputeVecStage(const MissingValueImputer* imputer)
+      : imputer_(imputer) {}
+
+  const char* label() const override { return "missing_value_imputer"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::VecBlock& vec = ctx.scratch->vec;
+    ctx.rows_scanned += vec.num_rows();
+    if (!vec.saw_nan) {
+      ++ctx.stages_elided;
+      return Status::OK();
+    }
+    for (const uint32_t r : vec.nan_rows) {
+      const uint32_t start = r > 0 ? vec.row_end[r - 1] : 0;
+      const uint32_t stop = vec.row_end[r];
+      for (uint32_t k = start; k < stop; ++k) {
+        auto& entry = vec.entries[k];
+        if (std::isnan(entry.second)) {
+          entry.second = imputer_->MeanForDimension(entry.first);
+        }
+      }
+    }
+    vec.saw_nan = false;
+    vec.nan_rows.clear();
+    return Status::OK();
+  }
+
+ private:
+  const MissingValueImputer* imputer_;
+};
+
+/// Fused table-mode kernel.  Fill values are snapshotted at plan-compile
+/// time: any statistics change bumps the pipeline state version, which
+/// invalidates the plan, so the snapshot is exactly what the interpreted
+/// path would read.  Columns with no nulls in the block are skipped; a
+/// block where every configured column is clean counts as an elision.
+class ImputeTableStage final : public fusion::FusedStage {
+ public:
+  struct Fill {
+    size_t slot;
+    double value;
+  };
+
+  explicit ImputeTableStage(std::vector<Fill> fills)
+      : fills_(std::move(fills)) {}
+
+  const char* label() const override { return "missing_value_imputer"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::TableBlock& table = ctx.scratch->table;
+    ctx.rows_scanned += table.live_rows;
+    bool did_work = false;
+    for (const Fill& fill : fills_) {
+      fusion::BlockColumn& col = table.cols[fill.slot];
+      if (!col.any_null) continue;
+      did_work = true;
+      col.PromoteToDouble();
+      for (size_t r = 0; r < col.null.size(); ++r) {
+        if (col.null[r]) col.d[r] = fill.value;
+      }
+      col.any_null = false;
+    }
+    if (!did_work) ++ctx.stages_elided;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Fill> fills_;
+};
+
+}  // namespace
 
 MissingValueImputer::MissingValueImputer(Options options)
     : options_(std::move(options)) {}
@@ -71,6 +153,40 @@ Result<DataBatch> MissingValueImputer::TransformOwned(DataBatch&& batch) const {
   }
   CDPIPE_RETURN_NOT_OK(ImputeTable(&std::get<TableData>(batch)));
   return std::move(batch);
+}
+
+Status MissingValueImputer::Fuse(fusion::PlanBuilder* plan) const {
+  using Repr = fusion::PlanBuilder::Repr;
+  if (plan->repr() == Repr::kVec) {
+    plan->AddStage(std::make_unique<ImputeVecStage>(this));
+    return Status::OK();
+  }
+  if (plan->repr() != Repr::kTable) {
+    return Status::FailedPrecondition(
+        "imputer fuses only over a table or vectorized block");
+  }
+  if (options_.columns.empty()) {
+    plan->AddElidedStage("missing_value_imputer");
+    return Status::OK();
+  }
+  std::vector<ImputeTableStage::Fill> fills;
+  fills.reserve(options_.columns.size());
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    // Unknown or non-numeric columns decline fusion; the interpreted path
+    // owns reporting those errors with full pipeline context.
+    CDPIPE_ASSIGN_OR_RETURN(size_t slot, plan->SlotOf(options_.columns[c]));
+    if (plan->SlotDeclaredType(slot) == ValueType::kString) {
+      return Status::FailedPrecondition("cannot impute non-numeric column " +
+                                        options_.columns[c]);
+    }
+    auto it = stats_.find(static_cast<uint32_t>(c));
+    const double fill = it != stats_.end()
+                            ? it->second.Mean(options_.default_value)
+                            : options_.default_value;
+    fills.push_back(ImputeTableStage::Fill{slot, fill});
+  }
+  plan->AddStage(std::make_unique<ImputeTableStage>(std::move(fills)));
+  return Status::OK();
 }
 
 void MissingValueImputer::ImputeFeatures(FeatureData* features) const {

@@ -39,6 +39,7 @@ class MissingValueImputer : public PipelineComponent {
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
   Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;

@@ -1,6 +1,7 @@
 #include "src/pipeline/one_hot_encoder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -8,8 +9,97 @@
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/dataframe/column_ops.h"
+#include "src/pipeline/fusion/fusion.h"
 
 namespace cdpipe {
+
+namespace {
+
+/// Fused vectorizing kernel.  Column slots are compile-resolved; dictionary
+/// lookups stay at runtime through the encoder (the dictionaries are
+/// component state, so any change invalidates the plan holding this
+/// kernel).  Per row the emit order is numeric columns in configured order
+/// then one categorical entry per block, which is strictly ascending — the
+/// same order the interpreted path hands to FromUnsortedInto, where the
+/// sort is a no-op.
+class OneHotVecStage final : public fusion::FusedStage {
+ public:
+  struct CatSlot {
+    size_t slot;
+    size_t cat_index;  ///< position within the encoder's categorical columns
+    uint32_t block_offset;
+    const std::string* name;
+  };
+
+  OneHotVecStage(const OneHotEncoder* encoder, std::vector<size_t> numeric,
+                 std::vector<CatSlot> cats, size_t label_slot,
+                 std::string label_column, uint32_t dim)
+      : encoder_(encoder),
+        numeric_(std::move(numeric)),
+        cats_(std::move(cats)),
+        label_slot_(label_slot),
+        label_column_(std::move(label_column)),
+        dim_(dim) {}
+
+  const char* label() const override { return "one_hot_encoder"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::TableBlock& table = ctx.scratch->table;
+    fusion::VecBlock& vec = ctx.scratch->vec;
+    ctx.rows_scanned += table.live_rows;
+    vec.dim = dim_;
+    vec.entries.clear();
+    vec.row_end.clear();
+    vec.labels.clear();
+    vec.saw_nan = false;
+    vec.nan_rows.clear();
+    const fusion::BlockColumn& label_col = table.cols[label_slot_];
+    for (size_t r = 0; r < table.num_rows; ++r) {
+      if (table.keep[r] == 0) continue;
+      if (label_col.IsNull(r)) {
+        return Status::FailedPrecondition("cannot widen null to double: " +
+                                          label_column_);
+      }
+      bool row_has_nan = false;
+      for (size_t i = 0; i < numeric_.size(); ++i) {
+        const fusion::BlockColumn& col = table.cols[numeric_[i]];
+        if (col.IsNull(r)) continue;  // treated as 0 (impute upstream)
+        const double d = col.NumericAt(r);
+        if (d != 0.0) {
+          vec.entries.emplace_back(static_cast<uint32_t>(i), d);
+          if (std::isnan(d)) row_has_nan = true;
+        }
+      }
+      for (const CatSlot& cat : cats_) {
+        const fusion::BlockColumn& col = table.cols[cat.slot];
+        if (col.IsNull(r)) continue;
+        if (col.type != ValueType::kString) {
+          return Status::FailedPrecondition("categorical column " + *cat.name +
+                                            " must be a string column");
+        }
+        vec.entries.emplace_back(
+            cat.block_offset + encoder_->SlotOf(cat.cat_index, col.s[r]), 1.0);
+      }
+      if (row_has_nan) {
+        vec.saw_nan = true;
+        vec.nan_rows.push_back(static_cast<uint32_t>(vec.row_end.size()));
+      }
+      vec.row_end.push_back(static_cast<uint32_t>(vec.entries.size()));
+      vec.labels.push_back(label_col.NumericAt(r));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const OneHotEncoder* encoder_;
+  std::vector<size_t> numeric_;
+  std::vector<CatSlot> cats_;
+  size_t label_slot_;
+  std::string label_column_;
+  uint32_t dim_;
+};
+
+}  // namespace
 
 OneHotEncoder::OneHotEncoder(Options options) : options_(std::move(options)) {
   CDPIPE_CHECK(!options_.label_column.empty());
@@ -129,6 +219,43 @@ Result<DataBatch> OneHotEncoder::Transform(const DataBatch& batch) const {
     out.labels.push_back(label);
   }
   return DataBatch(std::move(out));
+}
+
+Status OneHotEncoder::Fuse(fusion::PlanBuilder* plan) const {
+  if (plan->repr() != fusion::PlanBuilder::Repr::kTable) {
+    return Status::FailedPrecondition("one_hot_encoder expects a table batch");
+  }
+  std::vector<size_t> numeric;
+  numeric.reserve(options_.numeric_columns.size());
+  for (const std::string& column : options_.numeric_columns) {
+    // Unknown or string columns decline fusion; the interpreted path owns
+    // reporting those errors with full pipeline context.
+    CDPIPE_ASSIGN_OR_RETURN(size_t slot, plan->SlotOf(column));
+    if (plan->SlotDeclaredType(slot) == ValueType::kString) {
+      return Status::FailedPrecondition("cannot encode non-numeric column " +
+                                        column);
+    }
+    numeric.push_back(slot);
+  }
+  std::vector<OneHotVecStage::CatSlot> cats;
+  cats.reserve(options_.categorical_columns.size());
+  for (size_t c = 0; c < options_.categorical_columns.size(); ++c) {
+    const CategoricalColumn& col = options_.categorical_columns[c];
+    CDPIPE_ASSIGN_OR_RETURN(size_t slot, plan->SlotOf(col.name));
+    cats.push_back(
+        OneHotVecStage::CatSlot{slot, c, block_offsets_[c], &col.name});
+  }
+  CDPIPE_ASSIGN_OR_RETURN(size_t label_slot,
+                          plan->SlotOf(options_.label_column));
+  if (plan->SlotDeclaredType(label_slot) == ValueType::kString) {
+    return Status::FailedPrecondition("cannot encode non-numeric column " +
+                                      options_.label_column);
+  }
+  plan->AddStage(std::make_unique<OneHotVecStage>(
+      this, std::move(numeric), std::move(cats), label_slot,
+      options_.label_column, output_dim_));
+  plan->BeginVec(output_dim_);
+  return Status::OK();
 }
 
 void OneHotEncoder::Reset() {

@@ -49,6 +49,7 @@ class OneHotEncoder : public PipelineComponent {
 
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;
@@ -59,6 +60,13 @@ class OneHotEncoder : public PipelineComponent {
   uint32_t output_dim() const { return output_dim_; }
   /// Number of distinct values currently in column c's dictionary.
   size_t CardinalityOf(size_t c) const { return dictionaries_[c].size(); }
+
+  /// Index of `value` within column c's block: dictionary slot when known,
+  /// hashed slot when the value is unknown or the dictionary is full.
+  /// Public because the fused kernel resolves slots through the same
+  /// lookup (dictionaries are state, so the plan holding the kernel is
+  /// invalidated whenever they change).
+  uint32_t SlotOf(size_t c, std::string_view value) const;
 
  private:
   /// Transparent hash so arena-backed `string_view` cells can probe the
@@ -73,10 +81,6 @@ class OneHotEncoder : public PipelineComponent {
   };
   using Dictionary =
       std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>;
-
-  /// Index of `value` within column c's block: dictionary slot when known,
-  /// hashed slot when the value is unknown or the dictionary is full.
-  uint32_t SlotOf(size_t c, std::string_view value) const;
 
   Options options_;
   uint32_t output_dim_ = 0;

@@ -8,10 +8,137 @@
 
 #include "src/common/string_util.h"
 #include "src/dataframe/column_ops.h"
+#include "src/pipeline/fusion/fusion.h"
 
 namespace cdpipe {
 namespace {
-constexpr double kMinStdDev = 1e-12;
+
+constexpr double kMinStdDev = StandardScaler::kMinStdDev;
+
+/// Fused feature-mode kernel.  The (mean, σ) memo lives in the per-thread
+/// scratch, keyed by (scaler, plan serial): it persists across blocks for
+/// the lifetime of one plan — statistics changes recompile the plan with a
+/// fresh serial, which invalidates it.  Arithmetic is exactly the
+/// interpreted path's, so outputs are bit-identical.
+class ScaleVecStage final : public fusion::FusedStage {
+ public:
+  ScaleVecStage(const StandardScaler* scaler, bool with_mean)
+      : scaler_(scaler), with_mean_(with_mean) {}
+
+  const char* label() const override { return "standard_scaler"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::VecBlock& vec = ctx.scratch->vec;
+    ctx.rows_scanned += vec.num_rows();
+    const uint32_t dim = vec.dim;
+    if (dim <= (1u << 20)) {
+      fusion::StatsMemo& memo = ctx.scratch->scaler_memo;
+      if (!with_mean_) {
+        // σ-only memo: 8 bytes per dimension keeps the random lookups
+        // L1-resident at typical hashed dims (σ alone decides the scale
+        // when the mean is not subtracted).
+        if (!memo.MatchesSd(scaler_, ctx.plan_serial, dim)) {
+          memo.owner = scaler_;
+          memo.plan_serial = ctx.plan_serial;
+          memo.entries.clear();
+          memo.sd.assign(dim, -1.0);
+        }
+        for (auto& entry : vec.entries) {
+          double sd = memo.sd[entry.first];
+          if (sd < 0.0) {
+            sd = scaler_->StdDevOf(entry.first);
+            memo.sd[entry.first] = sd;
+          }
+          if (sd > kMinStdDev) entry.second = entry.second / sd;
+        }
+        return Status::OK();
+      }
+      if (!memo.Matches(scaler_, ctx.plan_serial, dim)) {
+        memo.owner = scaler_;
+        memo.plan_serial = ctx.plan_serial;
+        memo.sd.clear();
+        memo.entries.assign(dim, fusion::StatsMemo::Entry{});
+      }
+      for (auto& entry : vec.entries) {
+        fusion::StatsMemo::Entry& m = memo.entries[entry.first];
+        if (!m.seen) {
+          m.seen = 1;
+          m.mean = scaler_->MeanOf(entry.first);
+          m.sd = scaler_->StdDevOf(entry.first);
+        }
+        const double centered = entry.second - m.mean;
+        entry.second = m.sd > kMinStdDev ? centered / m.sd : centered;
+      }
+      return Status::OK();
+    }
+    for (auto& entry : vec.entries) {
+      const double sd = scaler_->StdDevOf(entry.first);
+      const double centered =
+          with_mean_ ? entry.second - scaler_->MeanOf(entry.first)
+                     : entry.second;
+      entry.second = sd > kMinStdDev ? centered / sd : centered;
+    }
+    return Status::OK();
+  }
+
+ private:
+  const StandardScaler* scaler_;
+  bool with_mean_;
+};
+
+/// Fused table-mode kernel.  (mean, σ) per configured column are
+/// snapshotted at plan-compile time — valid for the plan's lifetime by the
+/// same invalidation argument as above.  Division stays per-cell and dead
+/// (filtered) rows are scaled harmlessly: their cells are never read.
+class ScaleTableStage final : public fusion::FusedStage {
+ public:
+  struct ColScale {
+    size_t slot;
+    double mean;
+    double sd;
+  };
+
+  explicit ScaleTableStage(std::vector<ColScale> cols)
+      : cols_(std::move(cols)) {}
+
+  const char* label() const override { return "standard_scaler"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::TableBlock& table = ctx.scratch->table;
+    ctx.rows_scanned += table.live_rows;
+    for (const ColScale& cs : cols_) {
+      fusion::BlockColumn& col = table.cols[cs.slot];
+      col.PromoteToDouble();
+      const size_t rows = col.d.size();
+      if (cs.sd > kMinStdDev) {
+        if (!col.any_null) {
+          for (size_t r = 0; r < rows; ++r) {
+            col.d[r] = (col.d[r] - cs.mean) / cs.sd;
+          }
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            if (col.null[r]) continue;
+            col.d[r] = (col.d[r] - cs.mean) / cs.sd;
+          }
+        }
+      } else {
+        if (!col.any_null) {
+          for (size_t r = 0; r < rows; ++r) col.d[r] = col.d[r] - cs.mean;
+        } else {
+          for (size_t r = 0; r < rows; ++r) {
+            if (col.null[r]) continue;
+            col.d[r] = col.d[r] - cs.mean;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<ColScale> cols_;
+};
+
 }  // namespace
 
 StandardScaler::StandardScaler(Options options)
@@ -116,6 +243,47 @@ Result<DataBatch> StandardScaler::TransformOwned(DataBatch&& batch) const {
   }
   CDPIPE_RETURN_NOT_OK(ScaleTable(&std::get<TableData>(batch)));
   return std::move(batch);
+}
+
+Status StandardScaler::Fuse(fusion::PlanBuilder* plan) const {
+  using Repr = fusion::PlanBuilder::Repr;
+  // With no moments accumulated yet, MeanOf/StdDevOf return 0.0 for every
+  // key: centered = x - 0.0 ≡ x bitwise (including -0.0 and NaN) and σ=0
+  // skips the division, so the whole stage is an identity and is elided.
+  // (In table mode the interpreted path still widens integer columns to
+  // double; downstream fused stages read cells numerically, so the final
+  // feature output is unaffected.)
+  if (plan->repr() == Repr::kVec) {
+    if (stats_.empty()) {
+      plan->AddElidedStage("standard_scaler");
+    } else {
+      plan->AddStage(std::make_unique<ScaleVecStage>(this, options_.with_mean));
+    }
+    return Status::OK();
+  }
+  if (plan->repr() != Repr::kTable) {
+    return Status::FailedPrecondition(
+        "scaler fuses only over a table or vectorized block");
+  }
+  if (options_.columns.empty() || stats_.empty()) {
+    plan->AddElidedStage("standard_scaler");
+    return Status::OK();
+  }
+  std::vector<ScaleTableStage::ColScale> cols;
+  cols.reserve(options_.columns.size());
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    // Unknown or non-numeric columns decline fusion; the interpreted path
+    // owns reporting those errors with full pipeline context.
+    CDPIPE_ASSIGN_OR_RETURN(size_t slot, plan->SlotOf(options_.columns[c]));
+    if (plan->SlotDeclaredType(slot) == ValueType::kString) {
+      return Status::FailedPrecondition("cannot scale non-numeric column " +
+                                        options_.columns[c]);
+    }
+    const uint32_t key = static_cast<uint32_t>(c);
+    cols.push_back(ScaleTableStage::ColScale{slot, MeanOf(key), StdDevOf(key)});
+  }
+  plan->AddStage(std::make_unique<ScaleTableStage>(std::move(cols)));
+  return Status::OK();
 }
 
 void StandardScaler::ScaleFeatures(FeatureData* features) const {

@@ -35,6 +35,10 @@ class StandardScaler : public PipelineComponent {
     bool with_mean = false;
   };
 
+  /// Dimensions with σ below this pass through undivided (see class doc).
+  /// Public so the fused block kernel applies the exact same comparison.
+  static constexpr double kMinStdDev = 1e-12;
+
   StandardScaler() : StandardScaler(Options()) {}
   explicit StandardScaler(Options options);
 
@@ -47,6 +51,7 @@ class StandardScaler : public PipelineComponent {
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
   Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;

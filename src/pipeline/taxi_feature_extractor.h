@@ -1,6 +1,7 @@
 #ifndef CDPIPE_PIPELINE_TAXI_FEATURE_EXTRACTOR_H_
 #define CDPIPE_PIPELINE_TAXI_FEATURE_EXTRACTOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -14,6 +15,25 @@ double HaversineKm(double lat1, double lon1, double lat2, double lon2);
 
 /// Initial bearing in degrees [0, 360) from point 1 to point 2.
 double BearingDegrees(double lat1, double lon1, double lat2, double lon2);
+
+/// The eight derived per-trip features, in output column order.
+struct TaxiDerivedRow {
+  double duration_s;
+  double haversine_km;
+  double bearing;
+  double hour_of_day;
+  double hour_sin;
+  double hour_cos;
+  double day_of_week;
+  double log_duration;
+};
+
+/// Computes the derived features for one trip.  Deliberately out-of-line:
+/// the interpreted and fused execution paths both call this single
+/// definition, so the two modes produce bit-identical doubles.
+TaxiDerivedRow DeriveTaxiRow(int64_t pickup_seconds, int64_t dropoff_seconds,
+                             double pickup_lat, double pickup_lon,
+                             double dropoff_lat, double dropoff_lon);
 
 /// The Taxi pipeline's feature extractor (paper §5.1), modeled after the top
 /// NYC-Taxi-Duration Kaggle solutions: from pickup/dropoff timestamps and
@@ -53,6 +73,7 @@ class TaxiFeatureExtractor : public PipelineComponent {
   }
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
 
  private:

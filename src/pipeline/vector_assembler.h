@@ -30,6 +30,7 @@ class VectorAssembler : public PipelineComponent {
   }
 
   Result<DataBatch> Transform(const DataBatch& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   std::unique_ptr<PipelineComponent> Clone() const override;
 
   uint32_t output_dim() const {

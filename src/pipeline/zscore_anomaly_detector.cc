@@ -6,8 +6,57 @@
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/dataframe/column_ops.h"
+#include "src/pipeline/fusion/fusion.h"
 
 namespace cdpipe {
+
+namespace {
+
+/// Fused kernel.  The per-column mean and |x - mean| limit are snapshotted
+/// at plan-compile time: any statistics change bumps the pipeline state
+/// version, which invalidates the plan, so the snapshot is exactly what the
+/// interpreted KeepMask would have computed.  Uncalibrated and constant
+/// columns are dropped from the snapshot at compile (they never vote).
+class ZScoreTableStage final : public fusion::FusedStage {
+ public:
+  struct ColLimit {
+    size_t slot;
+    double mean;
+    double limit;
+  };
+
+  ZScoreTableStage(const ZScoreAnomalyDetector* detector,
+                   std::vector<ColLimit> cols)
+      : detector_(detector), cols_(std::move(cols)) {}
+
+  const char* label() const override { return "zscore_anomaly_detector"; }
+
+  Status Run(fusion::ExecContext& ctx) const override {
+    fusion::TableBlock& table = ctx.scratch->table;
+    ctx.rows_scanned += table.live_rows;
+    size_t dropped = 0;
+    for (const ColLimit& cl : cols_) {
+      const fusion::BlockColumn& col = table.cols[cl.slot];
+      for (size_t r = 0; r < table.num_rows; ++r) {
+        if (table.keep[r] == 0) continue;
+        if (col.IsNull(r)) continue;  // null never votes to drop
+        if (std::abs(col.NumericAt(r) - cl.mean) > cl.limit) {
+          table.keep[r] = 0;
+          --table.live_rows;
+          ++dropped;
+        }
+      }
+    }
+    if (dropped > 0) detector_->RecordDropped(dropped);
+    return Status::OK();
+  }
+
+ private:
+  const ZScoreAnomalyDetector* detector_;
+  std::vector<ColLimit> cols_;
+};
+
+}  // namespace
 
 ZScoreAnomalyDetector::ZScoreAnomalyDetector(Options options)
     : options_(std::move(options)), stats_(options_.columns.size()) {
@@ -77,6 +126,37 @@ Result<DataBatch> ZScoreAnomalyDetector::TransformOwned(
     return std::move(batch);
   }
   return DataBatch(table->Filter(keep));
+}
+
+Status ZScoreAnomalyDetector::Fuse(fusion::PlanBuilder* plan) const {
+  if (plan->repr() != fusion::PlanBuilder::Repr::kTable) {
+    return Status::FailedPrecondition(
+        "zscore_anomaly_detector expects a table batch");
+  }
+  std::vector<ZScoreTableStage::ColLimit> cols;
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    // Unknown or string columns decline fusion; the interpreted path owns
+    // reporting those errors with full pipeline context.
+    CDPIPE_ASSIGN_OR_RETURN(size_t slot, plan->SlotOf(options_.columns[c]));
+    if (plan->SlotDeclaredType(slot) == ValueType::kString) {
+      return Status::FailedPrecondition(
+          "cannot compute z-scores for non-numeric column " +
+          options_.columns[c]);
+    }
+    const Welford& w = stats_[c];
+    if (w.count < options_.min_observations) continue;  // not calibrated
+    const double sd = std::sqrt(w.Variance());
+    if (sd <= 0.0) continue;  // constant column: nothing is anomalous
+    cols.push_back(
+        ZScoreTableStage::ColLimit{slot, w.mean, options_.threshold * sd});
+  }
+  if (cols.empty()) {
+    // No column is calibrated yet: provably a no-op on every row.
+    plan->AddElidedStage("zscore_anomaly_detector");
+    return Status::OK();
+  }
+  plan->AddStage(std::make_unique<ZScoreTableStage>(this, std::move(cols)));
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> ZScoreAnomalyDetector::KeepMask(

@@ -41,6 +41,7 @@ class ZScoreAnomalyDetector : public PipelineComponent {
   Status Update(const DataBatch& batch) override;
   Result<DataBatch> Transform(const DataBatch& batch) const override;
   Result<DataBatch> TransformOwned(DataBatch&& batch) const override;
+  Status Fuse(fusion::PlanBuilder* plan) const override;
   void Reset() override;
   std::unique_ptr<PipelineComponent> Clone() const override;
   std::string DescribeState() const override;
@@ -54,6 +55,11 @@ class ZScoreAnomalyDetector : public PipelineComponent {
   /// Rows dropped as anomalous since construction.
   size_t num_dropped() const {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Adds to the dropped-row counter.  Fused kernels report their drops
+  /// here so the counter stays in step with the interpreted path.
+  void RecordDropped(size_t n) const {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
   }
 
  private:

@@ -1,0 +1,445 @@
+#include "src/pipeline/fusion/fusion.h"
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/data/taxi_stream.h"
+#include "src/data/url_stream.h"
+#include "src/dataframe/column_ops.h"
+#include "src/io/serialization.h"
+#include "src/obs/metrics.h"
+#include "src/pipeline/anomaly_filter.h"
+#include "src/pipeline/column_projector.h"
+#include "src/pipeline/input_parser.h"
+#include "src/pipeline/pipeline.h"
+#include "src/pipeline/vector_assembler.h"
+#include "src/pipeline/zscore_anomaly_detector.h"
+
+// Unit coverage for the fusion planner itself: plan-cache hit/miss/
+// invalidation accounting, negative caching of unfusable pipelines,
+// compile-time elision, and the cost-accounting / dropped-counter parity
+// between the fused and interpreted execution paths.  Bitwise output
+// equivalence at scale lives in tests/golden/transform_equivalence_test.cc;
+// the CDPIPE_EXEC_MODE override is read once per process, so it is
+// exercised end to end by the CI fault-suite run with the variable set,
+// not here.
+
+namespace cdpipe {
+namespace {
+
+RawChunk MakeChunk(ChunkId id, std::vector<std::string> records) {
+  RawChunk chunk;
+  chunk.id = id;
+  chunk.records = std::move(records);
+  return chunk;
+}
+
+std::unique_ptr<Pipeline> SmallUrlPipeline() {
+  UrlPipelineConfig config;
+  config.raw_dim = 1000;
+  config.hash_bits = 6;
+  return MakeUrlPipeline(config);
+}
+
+Result<FeatureData> TransformWith(Pipeline* pipeline, const RawChunk& chunk,
+                                  ExecMode mode) {
+  return pipeline->Transform(chunk, /*engine=*/nullptr,
+                             /*rows_scanned=*/nullptr, mode);
+}
+
+bool BitEqual(const FeatureData& a, const FeatureData& b) {
+  if (a.dim != b.dim || a.num_rows() != b.num_rows()) return false;
+  if (std::memcmp(a.labels.data(), b.labels.data(),
+                  a.labels.size() * sizeof(double)) != 0) {
+    return false;
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    if (a.features[r].indices() != b.features[r].indices()) return false;
+    const auto& av = a.features[r].values();
+    const auto& bv = b.features[r].values();
+    if (av.size() != bv.size() ||
+        std::memcmp(av.data(), bv.data(), av.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SchemaFingerprintTest, SensitiveToNameTypeAndOrder) {
+  auto base = std::move(Schema::Make({Field{"a", ValueType::kDouble},
+                                      Field{"b", ValueType::kString}}))
+                  .ValueOrDie();
+  auto renamed = std::move(Schema::Make({Field{"a2", ValueType::kDouble},
+                                         Field{"b", ValueType::kString}}))
+                     .ValueOrDie();
+  auto retyped = std::move(Schema::Make({Field{"a", ValueType::kInt64},
+                                         Field{"b", ValueType::kString}}))
+                     .ValueOrDie();
+  auto reordered = std::move(Schema::Make({Field{"b", ValueType::kString},
+                                           Field{"a", ValueType::kDouble}}))
+                       .ValueOrDie();
+  auto same = std::move(Schema::Make({Field{"a", ValueType::kDouble},
+                                      Field{"b", ValueType::kString}}))
+                  .ValueOrDie();
+  const uint64_t fp = fusion::SchemaFingerprint(*base);
+  EXPECT_EQ(fp, fusion::SchemaFingerprint(*same));
+  EXPECT_NE(fp, fusion::SchemaFingerprint(*renamed));
+  EXPECT_NE(fp, fusion::SchemaFingerprint(*retyped));
+  EXPECT_NE(fp, fusion::SchemaFingerprint(*reordered));
+}
+
+TEST(PlanCacheTest, MissCompileThenHit) {
+  auto pipeline = SmallUrlPipeline();
+  RawChunk chunk = MakeChunk(0, {"+1 3:1.0 17:2.0", "-1 5:0.5 7:1.0"});
+  ASSERT_TRUE(pipeline->UpdateAndTransform(chunk).ok());
+
+  const fusion::PlanCache* cache = pipeline->plan_cache();
+  EXPECT_EQ(cache->hits(), 0u);
+  ASSERT_TRUE(TransformWith(pipeline.get(), chunk, ExecMode::kFused).ok());
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->compiles(), 1u);
+
+  // Unchanged statistics: the second fused call reuses the plan.
+  ASSERT_TRUE(TransformWith(pipeline.get(), chunk, ExecMode::kFused).ok());
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->compiles(), 1u);
+
+  // An interpreted call never consults the cache.
+  ASSERT_TRUE(
+      TransformWith(pipeline.get(), chunk, ExecMode::kInterpreted).ok());
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->misses(), 1u);
+}
+
+TEST(PlanCacheTest, ResetInvalidatesCachedPlan) {
+  auto pipeline = SmallUrlPipeline();
+  RawChunk chunk = MakeChunk(0, {"+1 3:1.0", "-1 5:2.0"});
+  ASSERT_TRUE(pipeline->UpdateAndTransform(chunk).ok());
+  ASSERT_TRUE(TransformWith(pipeline.get(), chunk, ExecMode::kFused).ok());
+  const uint64_t version_before = pipeline->state_version();
+  const uint64_t compiles_before = pipeline->plan_cache()->compiles();
+
+  pipeline->Reset();
+  EXPECT_GT(pipeline->state_version(), version_before);
+  ASSERT_TRUE(TransformWith(pipeline.get(), chunk, ExecMode::kFused).ok());
+  EXPECT_GT(pipeline->plan_cache()->compiles(), compiles_before)
+      << "stale plan survived Reset";
+}
+
+TEST(PlanCacheTest, LoadStateInvalidatesCachedPlan) {
+  auto pipeline = SmallUrlPipeline();
+  RawChunk chunk = MakeChunk(0, {"+1 3:1.0", "-1 5:2.0"});
+  ASSERT_TRUE(pipeline->UpdateAndTransform(chunk).ok());
+
+  std::stringstream state;
+  Serializer out(&state);
+  ASSERT_TRUE(pipeline->SaveState(&out).ok());
+
+  ASSERT_TRUE(TransformWith(pipeline.get(), chunk, ExecMode::kFused).ok());
+  const uint64_t compiles_before = pipeline->plan_cache()->compiles();
+
+  // Restoring statistics — even identical ones — must recompile: the plan
+  // snapshot cannot be proven equal to the restored state.
+  Deserializer in(&state);
+  ASSERT_TRUE(pipeline->LoadState(&in).ok());
+  FeatureData fused =
+      std::move(TransformWith(pipeline.get(), chunk, ExecMode::kFused))
+          .ValueOrDie();
+  EXPECT_GT(pipeline->plan_cache()->compiles(), compiles_before)
+      << "stale plan survived LoadState";
+  FeatureData interpreted =
+      std::move(TransformWith(pipeline.get(), chunk, ExecMode::kInterpreted))
+          .ValueOrDie();
+  EXPECT_TRUE(BitEqual(interpreted, fused));
+}
+
+TEST(PlanCacheTest, UnfusablePipelineIsNegativeCached) {
+  // A custom-predicate AnomalyFilter cannot contribute a block kernel, so
+  // the whole pipeline must fall back to the interpreted loop — once; the
+  // unfusable verdict is cached, not re-derived per chunk.
+  auto schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
+                                        Field{"label", ValueType::kDouble}}))
+                    .ValueOrDie();
+  auto make_pipeline = [&](bool custom_predicate) {
+    auto pipeline = std::make_unique<Pipeline>();
+    InputParser::Options parser;
+    parser.format = InputParser::Format::kCsv;
+    parser.csv_schema = schema;
+    CDPIPE_CHECK(
+        pipeline->AddComponent(std::make_unique<InputParser>(parser)).ok());
+    if (custom_predicate) {
+      CDPIPE_CHECK(pipeline
+                       ->AddComponent(std::make_unique<AnomalyFilter>(
+                           "custom", [](const TableData& table,
+                                        std::vector<uint8_t>* keep) -> Status {
+                             CDPIPE_ASSIGN_OR_RETURN(
+                                 size_t x, table.schema()->FieldIndex("x"));
+                             CDPIPE_ASSIGN_OR_RETURN(
+                                 auto view,
+                                 NumericColumnView::Of(table.column(x),
+                                                       "custom filter"));
+                             for (size_t r = 0; r < table.num_rows(); ++r) {
+                               if ((*keep)[r] != 0 && !view.IsNull(r) &&
+                                   view[r] < 0.0) {
+                                 (*keep)[r] = 0;
+                               }
+                             }
+                             return Status::OK();
+                           }))
+                       .ok());
+    } else {
+      std::vector<AnomalyFilter::Rule> rules;
+      AnomalyFilter::Rule rule;
+      rule.column = "x";
+      rule.min = 0.0;
+      rules.push_back(rule);
+      CDPIPE_CHECK(pipeline
+                       ->AddComponent(std::make_unique<AnomalyFilter>(
+                           "custom", std::move(rules)))
+                       .ok());
+    }
+    VectorAssembler::Options assembler;
+    assembler.feature_columns = {"x"};
+    assembler.label_column = "label";
+    CDPIPE_CHECK(
+        pipeline->AddComponent(std::make_unique<VectorAssembler>(assembler))
+            .ok());
+    return pipeline;
+  };
+
+  RawChunk chunk = MakeChunk(0, {"1.5,1.0", "-2.0,0.0", "3.25,1.0"});
+  auto custom = make_pipeline(/*custom_predicate=*/true);
+  auto declarative = make_pipeline(/*custom_predicate=*/false);
+
+  FeatureData fallback =
+      std::move(TransformWith(custom.get(), chunk, ExecMode::kFused))
+          .ValueOrDie();
+  EXPECT_EQ(custom->plan_cache()->misses(), 1u);
+  EXPECT_EQ(custom->plan_cache()->compiles(), 0u);
+  // Second fused request hits the cached unfusable verdict.
+  ASSERT_TRUE(TransformWith(custom.get(), chunk, ExecMode::kFused).ok());
+  EXPECT_EQ(custom->plan_cache()->hits(), 1u);
+  EXPECT_EQ(custom->plan_cache()->misses(), 1u);
+
+  // The fallback output equals both the interpreted loop and the fused
+  // output of the equivalent declarative-rule pipeline.
+  FeatureData interpreted =
+      std::move(TransformWith(custom.get(), chunk, ExecMode::kInterpreted))
+          .ValueOrDie();
+  FeatureData fused_rules =
+      std::move(TransformWith(declarative.get(), chunk, ExecMode::kFused))
+          .ValueOrDie();
+  EXPECT_EQ(declarative->plan_cache()->compiles(), 1u);
+  EXPECT_TRUE(BitEqual(interpreted, fallback));
+  EXPECT_TRUE(BitEqual(interpreted, fused_rules));
+  EXPECT_EQ(fallback.num_rows(), 2u);
+}
+
+TEST(FusedPlanTest, CompileElidesProjectionAndExecutes) {
+  auto schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
+                                        Field{"junk", ValueType::kString},
+                                        Field{"label", ValueType::kDouble}}))
+                    .ValueOrDie();
+  std::vector<std::unique_ptr<PipelineComponent>> components;
+  InputParser::Options parser;
+  parser.format = InputParser::Format::kCsv;
+  parser.csv_schema = schema;
+  components.push_back(std::make_unique<InputParser>(parser));
+  components.push_back(std::make_unique<ColumnProjector>(
+      std::vector<std::string>{"x", "label"}));
+  VectorAssembler::Options assembler;
+  assembler.feature_columns = {"x"};
+  assembler.label_column = "label";
+  components.push_back(std::make_unique<VectorAssembler>(assembler));
+
+  auto entry = std::move(Schema::Make({Field{"raw", ValueType::kString}}))
+                   .ValueOrDie();
+  std::shared_ptr<const fusion::FusedPlan> plan =
+      fusion::FusedPlan::Compile(components, *entry);
+  ASSERT_NE(plan, nullptr);
+  // The projector contributes no runtime stage, only a compile-time
+  // remapping: it must be accounted as elided at compile time.
+  EXPECT_GE(plan->stats().compile_elided, 1u);
+  EXPECT_EQ(plan->stats().fingerprint, fusion::SchemaFingerprint(*entry));
+
+  std::vector<std::string> records = {"2.5,noise,1.0", "0.25,more,0.0"};
+  fusion::ExecScratch scratch;
+  FeatureData out;
+  size_t rows_scanned = 0;
+  ASSERT_TRUE(
+      plan->Execute(records, 0, records.size(), &scratch, &out, &rows_scanned)
+          .ok());
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.dim, 1u);
+  EXPECT_DOUBLE_EQ(out.labels[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.features[0].values()[0], 2.5);
+  // parser(1) + projector(1) + assembler(1) per row, same multiplicities as
+  // the interpreted loop.
+  EXPECT_EQ(rows_scanned, 6u);
+}
+
+TEST(FusedPlanTest, DeclinesChainWithoutVectorizingSink) {
+  auto schema = std::move(Schema::Make({Field{"x", ValueType::kDouble}}))
+                    .ValueOrDie();
+  std::vector<std::unique_ptr<PipelineComponent>> components;
+  InputParser::Options parser;
+  parser.format = InputParser::Format::kCsv;
+  parser.csv_schema = schema;
+  components.push_back(std::make_unique<InputParser>(parser));
+  auto entry = std::move(Schema::Make({Field{"raw", ValueType::kString}}))
+                   .ValueOrDie();
+  EXPECT_EQ(fusion::FusedPlan::Compile(components, *entry), nullptr);
+}
+
+TEST(FusionParityTest, RowsScannedMatchesInterpreted) {
+  auto pipeline = SmallUrlPipeline();
+  RawChunk chunk =
+      MakeChunk(0, {"+1 3:1.0 17:2.0", "-1 5:nan 7:1.0", "+1 9:4.0"});
+  ASSERT_TRUE(pipeline->UpdateAndTransform(chunk).ok());
+
+  size_t interpreted_scans = 0;
+  size_t fused_scans = 0;
+  ASSERT_TRUE(pipeline
+                  ->Transform(chunk, nullptr, &interpreted_scans,
+                              ExecMode::kInterpreted)
+                  .ok());
+  ASSERT_TRUE(
+      pipeline->Transform(chunk, nullptr, &fused_scans, ExecMode::kFused)
+          .ok());
+  EXPECT_GT(interpreted_scans, 0u);
+  EXPECT_EQ(interpreted_scans, fused_scans)
+      << "cost accounting diverged between execution modes";
+}
+
+TEST(FusionParityTest, DroppedCountersMatchInterpreted) {
+  // Two identical taxi pipelines fed identical chunks, one per execution
+  // mode: the anomaly filter's dropped counter must agree — the fused
+  // kernels report drops through the same component counters.
+  auto interpreted = MakeTaxiPipeline();
+  auto fused = MakeTaxiPipeline();
+  TaxiStreamGenerator::Config stream;
+  stream.records_per_chunk = 256;
+  stream.anomaly_prob = 0.2;
+  stream.seed = 41;
+  std::vector<RawChunk> chunks = TaxiStreamGenerator(stream).Generate(2);
+
+  ASSERT_TRUE(interpreted->UpdateAndTransform(chunks[0]).ok());
+  ASSERT_TRUE(fused->UpdateAndTransform(chunks[0]).ok());
+
+  auto filter_drops = [](const Pipeline& p) {
+    for (size_t i = 0; i < p.num_components(); ++i) {
+      if (const auto* filter =
+              dynamic_cast<const AnomalyFilter*>(&p.component(i))) {
+        return filter->num_dropped();
+      }
+    }
+    ADD_FAILURE() << "taxi pipeline has no AnomalyFilter";
+    return size_t{0};
+  };
+  const size_t interp_before = filter_drops(*interpreted);
+  const size_t fused_before = filter_drops(*fused);
+  ASSERT_EQ(interp_before, fused_before);
+
+  FeatureData a = std::move(TransformWith(interpreted.get(), chunks[1],
+                                          ExecMode::kInterpreted))
+                      .ValueOrDie();
+  FeatureData b =
+      std::move(TransformWith(fused.get(), chunks[1], ExecMode::kFused))
+          .ValueOrDie();
+  EXPECT_TRUE(BitEqual(a, b));
+  EXPECT_GT(fused->plan_cache()->compiles(), 0u);
+  EXPECT_EQ(filter_drops(*interpreted) - interp_before,
+            filter_drops(*fused) - fused_before)
+      << "fused filter kernel under- or over-counted drops";
+  EXPECT_GT(filter_drops(*fused), fused_before)
+      << "fixture produced no anomalies; raise anomaly_prob";
+}
+
+TEST(FusionParityTest, ZScoreDropsAndElisionMatchInterpreted) {
+  auto schema = std::move(Schema::Make({Field{"x", ValueType::kDouble},
+                                        Field{"label", ValueType::kDouble}}))
+                    .ValueOrDie();
+  auto make_pipeline = [&] {
+    auto pipeline = std::make_unique<Pipeline>();
+    InputParser::Options parser;
+    parser.format = InputParser::Format::kCsv;
+    parser.csv_schema = schema;
+    CDPIPE_CHECK(
+        pipeline->AddComponent(std::make_unique<InputParser>(parser)).ok());
+    ZScoreAnomalyDetector::Options zscore;
+    zscore.columns = {"x"};
+    zscore.threshold = 2.0;
+    zscore.min_observations = 4;
+    CDPIPE_CHECK(pipeline
+                     ->AddComponent(
+                         std::make_unique<ZScoreAnomalyDetector>(zscore))
+                     .ok());
+    VectorAssembler::Options assembler;
+    assembler.feature_columns = {"x"};
+    assembler.label_column = "label";
+    CDPIPE_CHECK(
+        pipeline->AddComponent(std::make_unique<VectorAssembler>(assembler))
+            .ok());
+    return pipeline;
+  };
+  auto zscore_drops = [](const Pipeline& p) {
+    for (size_t i = 0; i < p.num_components(); ++i) {
+      if (const auto* z = dynamic_cast<const ZScoreAnomalyDetector*>(
+              &p.component(i))) {
+        return z->num_dropped();
+      }
+    }
+    ADD_FAILURE() << "pipeline has no ZScoreAnomalyDetector";
+    return size_t{0};
+  };
+
+  auto interpreted = make_pipeline();
+  auto fused = make_pipeline();
+  RawChunk probe = MakeChunk(1, {"1.5,1.0", "100.0,0.0", "2.5,1.0"});
+
+  // Below min_observations the detector is statistics-free: the fused plan
+  // compiles it to an elided stage and drops nothing — same as interpreted.
+  obs::Counter* elided = obs::MetricsRegistry::Global().GetCounter(
+      "pipeline.stages_elided", "");
+  const int64_t elided_before = elided->Value();
+  FeatureData cold_a =
+      std::move(TransformWith(interpreted.get(), probe,
+                              ExecMode::kInterpreted))
+          .ValueOrDie();
+  FeatureData cold_b =
+      std::move(TransformWith(fused.get(), probe, ExecMode::kFused))
+          .ValueOrDie();
+  EXPECT_TRUE(BitEqual(cold_a, cold_b));
+  EXPECT_EQ(cold_b.num_rows(), 3u);
+  EXPECT_EQ(zscore_drops(*fused), 0u);
+  EXPECT_GT(elided->Value(), elided_before)
+      << "statistics-free detector was not elided from the fused plan";
+
+  // Warm both up past min_observations, then the outlier must be dropped
+  // identically (and the recompile must pick up the new statistics).
+  RawChunk warmup =
+      MakeChunk(0, {"1.0,1.0", "2.0,0.0", "1.5,1.0", "2.5,0.0", "1.75,1.0"});
+  ASSERT_TRUE(interpreted->UpdateAndTransform(warmup).ok());
+  ASSERT_TRUE(fused->UpdateAndTransform(warmup).ok());
+  FeatureData warm_a =
+      std::move(TransformWith(interpreted.get(), probe,
+                              ExecMode::kInterpreted))
+          .ValueOrDie();
+  FeatureData warm_b =
+      std::move(TransformWith(fused.get(), probe, ExecMode::kFused))
+          .ValueOrDie();
+  EXPECT_TRUE(BitEqual(warm_a, warm_b));
+  EXPECT_EQ(warm_b.num_rows(), 2u);
+  EXPECT_EQ(zscore_drops(*interpreted), zscore_drops(*fused));
+  EXPECT_EQ(zscore_drops(*fused), 1u);
+}
+
+}  // namespace
+}  // namespace cdpipe
