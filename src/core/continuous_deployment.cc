@@ -72,6 +72,9 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
       data_manager().SampleForTraining(continuous_options_.sample_chunks,
                                        &rng()));
   CDPIPE_RETURN_NOT_OK(trainer_.RunIteration(sample));
+  // A proactive step changed the deployed model: publish a fresh serving
+  // epoch immediately (no-op when no serving tier is attached).
+  pipeline_manager().PublishSnapshot();
 
   if (continuous_options_.scheduler != nullptr) {
     continuous_options_.scheduler->OnTrainingCompleted(
@@ -101,6 +104,7 @@ Status ContinuousDeployment::RunDriftBurst() {
     }
     CDPIPE_RETURN_NOT_OK(trainer_.RunIteration(sample));
   }
+  pipeline_manager().PublishSnapshot();
   return Status::OK();
 }
 

@@ -25,31 +25,49 @@ const char* CostPhaseName(CostPhase phase) {
   return "?";
 }
 
+CostModel::CostModel(const CostModel& other) { *this = other; }
+
+CostModel& CostModel::operator=(const CostModel& other) {
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    seconds_[i].store(other.seconds_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    work_[i].store(other.work_[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 void CostModel::AddSeconds(CostPhase phase, double seconds) {
-  seconds_[static_cast<size_t>(phase)] += seconds;
+  seconds_[static_cast<size_t>(phase)].fetch_add(seconds,
+                                                 std::memory_order_relaxed);
 }
 
 void CostModel::AddWork(CostPhase phase, int64_t rows) {
-  work_[static_cast<size_t>(phase)] += rows;
+  work_[static_cast<size_t>(phase)].fetch_add(rows,
+                                              std::memory_order_relaxed);
 }
 
 double CostModel::SecondsIn(CostPhase phase) const {
-  return seconds_[static_cast<size_t>(phase)];
+  return seconds_[static_cast<size_t>(phase)].load(std::memory_order_relaxed);
 }
 
 int64_t CostModel::WorkIn(CostPhase phase) const {
-  return work_[static_cast<size_t>(phase)];
+  return work_[static_cast<size_t>(phase)].load(std::memory_order_relaxed);
 }
 
 double CostModel::TotalSeconds() const {
   double total = 0.0;
-  for (double s : seconds_) total += s;
+  for (const std::atomic<double>& s : seconds_) {
+    total += s.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 int64_t CostModel::TotalWork() const {
   int64_t total = 0;
-  for (int64_t w : work_) total += w;
+  for (const std::atomic<int64_t>& w : work_) {
+    total += w.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
@@ -60,20 +78,24 @@ double CostModel::TrainingSeconds() const {
 }
 
 void CostModel::Reset() {
-  seconds_.fill(0.0);
-  work_.fill(0);
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    seconds_[i].store(0.0, std::memory_order_relaxed);
+    work_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::string CostModel::ToString() const {
   std::string out = "Cost{";
   bool first = true;
   for (size_t i = 0; i < kNumPhases; ++i) {
-    if (seconds_[i] == 0.0 && work_[i] == 0) continue;
+    const double seconds = seconds_[i].load(std::memory_order_relaxed);
+    const int64_t work = work_[i].load(std::memory_order_relaxed);
+    if (seconds == 0.0 && work == 0) continue;
     if (!first) out += ", ";
     first = false;
     out += StrFormat("%s: %.3fs/%lld rows",
-                     CostPhaseName(static_cast<CostPhase>(i)), seconds_[i],
-                     static_cast<long long>(work_[i]));
+                     CostPhaseName(static_cast<CostPhase>(i)), seconds,
+                     static_cast<long long>(work));
   }
   out += StrFormat("; total %.3fs}", TotalSeconds());
   return out;

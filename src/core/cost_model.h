@@ -2,6 +2,7 @@
 #define CDPIPE_CORE_COST_MODEL_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -31,9 +32,15 @@ const char* CostPhaseName(CostPhase phase);
 ///  - deterministic work units (rows scanned / gradient rows / predictions),
 ///    which make the *shape* of every cost figure reproducible regardless of
 ///    the machine the benchmark runs on.
+/// Thread-safe: accumulators are relaxed atomics, so parallel engine tasks
+/// (re-materialization fan-out) account their work without a lock.  Work
+/// units are integers — parallel accounting stays exact and
+/// order-independent.
 class CostModel {
  public:
   CostModel() = default;
+  CostModel(const CostModel& other);
+  CostModel& operator=(const CostModel& other);
 
   void AddSeconds(CostPhase phase, double seconds);
   void AddWork(CostPhase phase, int64_t rows);
@@ -71,8 +78,8 @@ class CostModel {
  private:
   static constexpr size_t kNumPhases =
       static_cast<size_t>(CostPhase::kNumPhases);
-  std::array<double, kNumPhases> seconds_{};
-  std::array<int64_t, kNumPhases> work_{};
+  std::array<std::atomic<double>, kNumPhases> seconds_{};
+  std::array<std::atomic<int64_t>, kNumPhases> work_{};
 };
 
 }  // namespace cdpipe

@@ -22,6 +22,7 @@ struct DeploymentMetrics {
   obs::Counter* degraded;
   obs::Counter* store_features_failed;
   obs::Counter* ingest_failed;
+  obs::Counter* serving_eval_fallbacks;
   obs::Histogram* chunk_seconds;
 
   static const DeploymentMetrics& Get() {
@@ -33,6 +34,9 @@ struct DeploymentMetrics {
       m.store_features_failed =
           registry.GetCounter("deployment.store_features_failed");
       m.ingest_failed = registry.GetCounter("deployment.ingest_failed");
+      m.serving_eval_fallbacks = registry.GetCounter(
+          "serving.eval_fallbacks",
+          "Serve-eval requests that fell back to the in-loop evaluate");
       m.chunk_seconds = registry.GetHistogram("deployment.chunk_seconds");
       return m;
     }();
@@ -93,7 +97,76 @@ Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
   }
   // Initial training is not part of the deployment cost.
   cost_.Reset();
+  // The initial model is the first deployed state the serving tier can
+  // answer from.
+  pipeline_manager_->PublishSnapshot();
   return Status::OK();
+}
+
+void Deployment::AttachServing(serving::SnapshotPublisher* publisher,
+                               serving::PredictionService* service,
+                               bool serve_evaluation) {
+  serving_publisher_ = publisher;
+  serving_service_ = service;
+  serve_evaluation_ = serve_evaluation && service != nullptr;
+  pipeline_manager_->AttachPublisher(publisher);
+  serve_reader_ =
+      publisher != nullptr
+          ? std::make_unique<serving::SnapshotReader>(publisher)
+          : nullptr;
+}
+
+Result<FeatureChunk> Deployment::RunOnlinePath(
+    const RawChunk& chunk, PrequentialEvaluator* evaluator) {
+  if (serving_publisher_ == nullptr) {
+    return pipeline_manager_->OnlineStep(chunk, evaluator,
+                                         options_.online_learning);
+  }
+  // Serve-then-train: update statistics and transform, publish the
+  // resulting (statistics, pre-SGD model) pair as a snapshot, evaluate the
+  // chunk against that snapshot — through the prediction service when
+  // routed — and only then apply the online SGD update.  Publishing at
+  // this exact point is what makes the served evaluation bit-identical to
+  // the in-loop one: a pure Transform after UpdateAndTransform of the same
+  // chunk reproduces its features exactly, and the snapshot model is the
+  // same pre-update model OnlineStep evaluates with.
+  CDPIPE_TRACE_SPAN("pipeline.online_step", "pipeline");
+  CDPIPE_ASSIGN_OR_RETURN(FeatureChunk features,
+                          pipeline_manager_->PreprocessChunk(chunk));
+  pipeline_manager_->PublishSnapshot();
+  bool evaluated = false;
+  if (serve_evaluation_ && evaluator != nullptr &&
+      serving_service_ != nullptr) {
+    Result<serving::PredictionService::Response> response =
+        serving_service_->PredictWith(serve_reader_.get(), chunk);
+    if (response.ok()) {
+      CostModel::ScopedTimer timer(&cost_, CostPhase::kPrediction);
+      for (size_t r = 0; r < response->scores.size(); ++r) {
+        evaluator->Observe(response->scores[r], response->true_labels[r]);
+      }
+      cost_.AddWork(CostPhase::kPrediction,
+                    static_cast<int64_t>(response->scores.size()));
+      evaluated = true;
+    } else {
+      // A failed request (injected fault, stopped service) must not poke a
+      // hole in the quality curve: fall back to the in-loop evaluate,
+      // which observes the exact same (score, label) sequence.
+      DeploymentMetrics::Get().serving_eval_fallbacks->Increment();
+      DeploymentMetrics::Get().degraded->Increment();
+      obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                         "serving_eval_fallback");
+      CDPIPE_LOG(Warning) << "deployment: serve-eval request for chunk "
+                          << chunk.id << " failed, using in-loop evaluate: "
+                          << response.status().ToString();
+    }
+  }
+  if (!evaluated && evaluator != nullptr) {
+    pipeline_manager_->EvaluateFeatures(features.data, evaluator);
+  }
+  if (options_.online_learning) {
+    CDPIPE_RETURN_NOT_OK(pipeline_manager_->OnlineUpdate(features.data));
+  }
+  return features;
 }
 
 Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
@@ -112,6 +185,10 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   report.strategy = strategy_name_;
   report.metric_name = metric_prototype_->name();
   report.curve.reserve(stream.size());
+
+  // Serving attached: make sure an epoch exists before the first request
+  // can arrive (requests against an empty publisher fail Unavailable).
+  if (serving_publisher_ != nullptr) pipeline_manager_->PublishSnapshot();
 
   double sum_cumulative_error = 0.0;
   int64_t previous_event_time = stream.empty() ? 0 : stream[0].event_time_seconds;
@@ -153,10 +230,8 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
     const double mass_before = evaluator.AggregateMass();
     const double prediction_seconds_before =
         cost_.SecondsIn(CostPhase::kPrediction);
-    CDPIPE_ASSIGN_OR_RETURN(
-        FeatureChunk features,
-        pipeline_manager_->OnlineStep(*stored, &evaluator,
-                                      options_.online_learning));
+    CDPIPE_ASSIGN_OR_RETURN(FeatureChunk features,
+                            RunOnlinePath(*stored, &evaluator));
     if (ingest_status.ok()) {
       // A transiently failed materialization degrades cleanly: the chunk
       // stays unmaterialized and dynamic materialization rebuilds it on
@@ -188,7 +263,17 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
     outcome.event_period_seconds = static_cast<double>(
         chunk.event_time_seconds - previous_event_time);
     previous_event_time = chunk.event_time_seconds;
+    const uint64_t epoch_before_hook =
+        serving_publisher_ != nullptr ? serving_publisher_->epoch() : 0;
     CDPIPE_RETURN_NOT_OK(AfterChunk(i, *stored, outcome));
+    if (serving_publisher_ != nullptr &&
+        serving_publisher_->epoch() == epoch_before_hook) {
+      // The strategy hook did not publish (no proactive/retraining step
+      // this chunk): expose the post-online-SGD model before the next
+      // chunk arrives.  In serve-eval mode this is the cheap model-only
+      // republish (statistics unchanged since the mid-chunk publish).
+      pipeline_manager_->PublishSnapshot();
+    }
 
     DeploymentReport::PointRow row;
     row.chunk_index = static_cast<int64_t>(i);
@@ -228,6 +313,14 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
       report.metrics.CounterValueOr("proactive.iterations_degraded", 0);
   report.proactive_chunks_skipped =
       report.metrics.CounterValueOr("proactive.chunks_skipped", 0);
+  report.serving_requests = report.metrics.CounterValueOr("serving.requests", 0);
+  report.serving_errors = report.metrics.CounterValueOr("serving.errors", 0);
+  report.serving_stale_reads =
+      report.metrics.CounterValueOr("serving.stale_reads", 0);
+  report.snapshot_publishes =
+      report.metrics.CounterValueOr("serving.publishes", 0);
+  report.serving_eval_fallbacks =
+      report.metrics.CounterValueOr("serving.eval_fallbacks", 0);
   FillReport(&report);
   return report;
 }

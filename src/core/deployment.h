@@ -17,6 +17,8 @@
 #include "src/ml/prequential.h"
 #include "src/ml/trainer.h"
 #include "src/sampling/sampler.h"
+#include "src/serving/prediction_service.h"
+#include "src/serving/snapshot_publisher.h"
 
 namespace cdpipe {
 
@@ -83,6 +85,29 @@ class Deployment {
   /// and μ accounting start from zero at the beginning of the replay.
   Result<DeploymentReport> Run(const std::vector<RawChunk>& stream);
 
+  /// Attaches the serving tier (both pointers borrowed; nullptr detaches).
+  /// Once attached, the deployment publishes a fresh snapshot epoch at the
+  /// end of InitialTrain, at the start of Run, after each chunk's online
+  /// path (and mid-chunk — after the statistics update, before the online
+  /// SGD — when `serve_evaluation` is set), and after checkpoint restores
+  /// / redeployments; strategies publish after their own training steps.
+  ///
+  /// With `serve_evaluation` true and a non-null `service`, the prequential
+  /// evaluate step of every chunk routes through the prediction service
+  /// against the just-published snapshot (serve-then-train).  Because the
+  /// snapshot is published after the chunk's statistics update and before
+  /// its online SGD update, the served scores are bit-identical to the
+  /// in-loop evaluate path.  A failed serving request (injected fault,
+  /// stopped service) falls back to the in-loop path — accounted in
+  /// `serving.eval_fallbacks` and `DeploymentReport::degraded_events` —
+  /// so the quality curve never loses observations.
+  void AttachServing(serving::SnapshotPublisher* publisher,
+                     serving::PredictionService* service,
+                     bool serve_evaluation);
+
+  /// Publishes the current deployed state (0 if no publisher attached).
+  uint64_t PublishSnapshot() { return pipeline_manager_->PublishSnapshot(); }
+
   const std::string& strategy_name() const { return strategy_name_; }
   const PipelineManager& pipeline_manager() const { return *pipeline_manager_; }
   const DataManager& data_manager() const { return data_manager_; }
@@ -123,6 +148,12 @@ class Deployment {
   uint32_t deployment_id() const { return deployment_id_; }
 
  private:
+  /// The per-chunk online path: OnlineStep when no serving tier is
+  /// attached, otherwise the phased serve-then-train flow (preprocess →
+  /// publish → evaluate via the service → online SGD).
+  Result<FeatureChunk> RunOnlinePath(const RawChunk& chunk,
+                                     PrequentialEvaluator* evaluator);
+
   std::string strategy_name_;
   uint32_t deployment_id_;
   Options options_;
@@ -133,6 +164,14 @@ class Deployment {
   std::unique_ptr<Metric> metric_prototype_;
   Rng rng_;
   int64_t initial_training_epochs_ = 0;
+
+  // Serving attachment (all borrowed; see AttachServing).
+  serving::SnapshotPublisher* serving_publisher_ = nullptr;
+  serving::PredictionService* serving_service_ = nullptr;
+  bool serve_evaluation_ = false;
+  /// Reader for the serve-eval path; owned here, used only by the Run
+  /// thread (SnapshotReader is single-threaded by contract).
+  std::unique_ptr<serving::SnapshotReader> serve_reader_;
 };
 
 }  // namespace cdpipe

@@ -27,7 +27,18 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
     const RawChunk& chunk, PrequentialEvaluator* evaluator,
     bool online_learn) {
   CDPIPE_TRACE_SPAN("pipeline.online_step", "pipeline");
-  // 1. Online statistics computation + transform.
+  CDPIPE_ASSIGN_OR_RETURN(FeatureChunk out, PreprocessChunk(chunk));
+  if (evaluator != nullptr) {
+    EvaluateFeatures(out.data, evaluator);
+  }
+  if (online_learn) {
+    CDPIPE_RETURN_NOT_OK(OnlineUpdate(out.data));
+  }
+  return out;
+}
+
+Result<FeatureChunk> PipelineManager::PreprocessChunk(const RawChunk& chunk) {
+  // Online statistics computation + transform.
   FeatureData features;
   {
     CDPIPE_TRACE_SPAN("pipeline.preprocess", "pipeline");
@@ -42,34 +53,42 @@ Result<FeatureChunk> PipelineManager::OnlineStep(
     cost_->AddWork(CostPhase::kPreprocessing,
                    static_cast<int64_t>(rows_scanned));
   }
-
-  // 2. Prequential evaluation with the pre-update model.
-  if (evaluator != nullptr) {
-    CDPIPE_TRACE_SPAN("pipeline.predict", "ml");
-    CostModel::ScopedTimer timer(cost_, CostPhase::kPrediction);
-    for (size_t r = 0; r < features.num_rows(); ++r) {
-      evaluator->Observe(model_->Predict(features.features[r]),
-                         features.labels[r]);
-    }
-    cost_->AddWork(CostPhase::kPrediction,
-                   static_cast<int64_t>(features.num_rows()));
-  }
-
-  // 3. Online learning: one SGD update over the chunk.
-  if (online_learn && features.num_rows() > 0) {
-    CDPIPE_TRACE_SPAN("pipeline.online_sgd", "ml");
-    CostModel::ScopedTimer timer(cost_, CostPhase::kOnlineTraining);
-    model_->EnsureDim(features.dim);
-    CDPIPE_RETURN_NOT_OK(model_->Update(features, optimizer_.get()));
-    cost_->AddWork(CostPhase::kOnlineTraining,
-                   static_cast<int64_t>(features.num_rows()));
-  }
-
   FeatureChunk out;
   out.origin_id = chunk.id;
   out.event_time_seconds = chunk.event_time_seconds;
   out.data = std::move(features);
   return out;
+}
+
+void PipelineManager::EvaluateFeatures(const FeatureData& features,
+                                       PrequentialEvaluator* evaluator) {
+  if (evaluator == nullptr) return;
+  // Prequential evaluation with the pre-update model.
+  CDPIPE_TRACE_SPAN("pipeline.predict", "ml");
+  CostModel::ScopedTimer timer(cost_, CostPhase::kPrediction);
+  for (size_t r = 0; r < features.num_rows(); ++r) {
+    evaluator->Observe(model_->Predict(features.features[r]),
+                       features.labels[r]);
+  }
+  cost_->AddWork(CostPhase::kPrediction,
+                 static_cast<int64_t>(features.num_rows()));
+}
+
+Status PipelineManager::OnlineUpdate(const FeatureData& features) {
+  // Online learning: one SGD update over the chunk.
+  if (features.num_rows() == 0) return Status::OK();
+  CDPIPE_TRACE_SPAN("pipeline.online_sgd", "ml");
+  CostModel::ScopedTimer timer(cost_, CostPhase::kOnlineTraining);
+  model_->EnsureDim(features.dim);
+  CDPIPE_RETURN_NOT_OK(model_->Update(features, optimizer_.get()));
+  cost_->AddWork(CostPhase::kOnlineTraining,
+                 static_cast<int64_t>(features.num_rows()));
+  return Status::OK();
+}
+
+uint64_t PipelineManager::PublishSnapshot() {
+  if (publisher_ == nullptr) return 0;
+  return publisher_->PublishFrom(*pipeline_, *model_);
 }
 
 Result<FeatureChunk> PipelineManager::Rematerialize(
@@ -127,6 +146,7 @@ void PipelineManager::Redeploy(std::unique_ptr<LinearModel> model,
   CDPIPE_CHECK(optimizer != nullptr);
   model_ = std::move(model);
   optimizer_ = std::move(optimizer);
+  PublishSnapshot();
 }
 
 void PipelineManager::Restore(std::unique_ptr<Pipeline> pipeline,
@@ -138,6 +158,7 @@ void PipelineManager::Restore(std::unique_ptr<Pipeline> pipeline,
   pipeline_ = std::move(pipeline);
   model_ = std::move(model);
   optimizer_ = std::move(optimizer);
+  PublishSnapshot();
 }
 
 }  // namespace cdpipe

@@ -11,6 +11,7 @@
 #include "src/ml/optimizer.h"
 #include "src/ml/prequential.h"
 #include "src/pipeline/pipeline.h"
+#include "src/serving/snapshot_publisher.h"
 
 namespace cdpipe {
 
@@ -44,6 +45,30 @@ class PipelineManager {
   Result<FeatureChunk> OnlineStep(const RawChunk& chunk,
                                   PrequentialEvaluator* evaluator,
                                   bool online_learn);
+
+  /// The three phases of OnlineStep, exposed individually so the serving
+  /// tier can interleave a snapshot publish between them (serve-then-train:
+  /// publish after the statistics update, evaluate through the prediction
+  /// service against that snapshot, then apply the online SGD update).
+  /// `OnlineStep(c, e, l)` ≡ `PreprocessChunk(c)` + `EvaluateFeatures(f,
+  /// e)` + (if l) `OnlineUpdate(f)` — bit-identical, same cost accounting.
+  Result<FeatureChunk> PreprocessChunk(const RawChunk& chunk);
+  void EvaluateFeatures(const FeatureData& features,
+                        PrequentialEvaluator* evaluator);
+  Status OnlineUpdate(const FeatureData& features);
+
+  /// Attaches a serving snapshot publisher (nullptr detaches).  Once
+  /// attached, Redeploy and Restore publish a fresh epoch automatically —
+  /// the serving tier can never keep answering from a model that the
+  /// deployment loop already replaced.
+  void AttachPublisher(serving::SnapshotPublisher* publisher) {
+    publisher_ = publisher;
+  }
+  serving::SnapshotPublisher* publisher() const { return publisher_; }
+
+  /// Publishes the current deployed state as a new snapshot epoch.
+  /// Returns the epoch, or 0 when no publisher is attached.
+  uint64_t PublishSnapshot();
 
   /// Re-materializes an evicted feature chunk (transform-only; statistics
   /// untouched).  Under `online_statistics == false` this also pays the
@@ -102,6 +127,7 @@ class PipelineManager {
   std::unique_ptr<Optimizer> optimizer_;
   CostModel* cost_;
   Options options_;
+  serving::SnapshotPublisher* publisher_ = nullptr;  ///< not owned
 };
 
 }  // namespace cdpipe

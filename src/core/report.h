@@ -61,6 +61,17 @@ struct DeploymentReport {
   int64_t degraded_events = 0;
   int64_t proactive_chunks_skipped = 0;
 
+  /// Serving-tier accounting for this run (all zero when no serving
+  /// attachment): requests answered / errored by the prediction front-end,
+  /// snapshot epochs published, reader-observed epoch regressions (0
+  /// unless the swap protocol is broken), and serve-eval requests that
+  /// fell back to the in-loop evaluate path (counted in degraded_events).
+  int64_t serving_requests = 0;
+  int64_t serving_errors = 0;
+  int64_t serving_stale_reads = 0;
+  int64_t snapshot_publishes = 0;
+  int64_t serving_eval_fallbacks = 0;
+
   /// Serializes the curve as CSV with a header row.
   std::string CurveToCsv() const;
 

@@ -132,6 +132,15 @@ double LinearModel::Predict(const SparseVector& x) const {
   return score;
 }
 
+void LinearModel::PredictBatch(const FeatureData& features,
+                               std::vector<double>* out) const {
+  out->clear();
+  out->reserve(features.features.size());
+  for (const SparseVector& row : features.features) {
+    out->push_back(Predict(row));
+  }
+}
+
 void LinearModel::EnsureDim(uint32_t dim) {
   if (dim > weights_.dim()) weights_.Resize(dim);
 }

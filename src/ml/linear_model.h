@@ -56,6 +56,11 @@ class LinearModel {
   /// Raw score w·x + b (margin for classifiers, prediction for regression).
   double Predict(const SparseVector& x) const;
 
+  /// Batch scoring: `out` is overwritten with one Predict score per row of
+  /// `features`, in row order (bit-identical to calling Predict per row).
+  /// The micro-batch unit of the serving tier.
+  void PredictBatch(const FeatureData& features, std::vector<double>* out) const;
+
   /// Classification label in {-1, +1} from the sign of the raw score.
   double PredictLabel(const SparseVector& x) const {
     return Predict(x) >= 0.0 ? 1.0 : -1.0;

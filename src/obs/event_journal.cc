@@ -93,6 +93,10 @@ const char* EventKindName(EventKind kind) {
       return "recover";
     case EventKind::kPlanCompile:
       return "plan_compile";
+    case EventKind::kSnapshotPublish:
+      return "snapshot_publish";
+    case EventKind::kSnapshotSwap:
+      return "snapshot_swap";
   }
   return "unknown";
 }

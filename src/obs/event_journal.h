@@ -31,6 +31,8 @@ enum class EventKind : uint8_t {
   kStall,               ///< watchdog: subsystem heartbeat went silent
   kRecover,             ///< watchdog: stalled subsystem beat again
   kPlanCompile,         ///< fused transform plan (re)compiled for a pipeline
+  kSnapshotPublish,     ///< serving snapshot epoch published
+  kSnapshotSwap,        ///< serving snapshot replaced a previous epoch
 };
 
 /// Stable lowercase identifier ("ingest", "materialize_hit", ...).

@@ -6,6 +6,8 @@
 
 #include "src/data/url_stream.h"
 #include "src/io/checkpoint.h"
+#include "src/serving/prediction_service.h"
+#include "src/serving/snapshot_publisher.h"
 
 namespace cdpipe {
 namespace testing {
@@ -18,7 +20,9 @@ UrlPipelineConfig PipeConfig() {
   return config;
 }
 
-std::vector<RawChunk> MakeStream(size_t num_chunks) {
+}  // namespace
+
+std::vector<RawChunk> MakeScenarioStream(size_t num_chunks) {
   UrlStreamGenerator::Config config;
   config.feature_dim = 1000;
   config.initial_active_features = 120;
@@ -29,11 +33,8 @@ std::vector<RawChunk> MakeStream(size_t num_chunks) {
   return generator.Generate(num_chunks);
 }
 
-}  // namespace
-
-ScenarioResult RunScenario(const Scenario& scenario) {
-  ScenarioResult result;
-
+std::unique_ptr<ContinuousDeployment> MakeScenarioDeployment(
+    const Scenario& scenario) {
   Deployment::Options options;
   options.seed = scenario.seed;
   options.store = scenario.store;
@@ -44,12 +45,33 @@ ScenarioResult RunScenario(const Scenario& scenario) {
   continuous.proactive_every_chunks = scenario.proactive_every_chunks;
   continuous.sample_chunks = scenario.sample_chunks;
   const UrlPipelineConfig config = PipeConfig();
-  ContinuousDeployment deployment(
+  return std::make_unique<ContinuousDeployment>(
       std::move(options), std::move(continuous), MakeUrlPipeline(config),
       std::make_unique<LinearModel>(MakeUrlModelOptions(config)),
       MakeOptimizer(OptimizerOptions{.kind = OptimizerKind::kAdam,
                                      .learning_rate = 0.01}),
       std::make_unique<MisclassificationRate>());
+}
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  ScenarioResult result;
+
+  std::unique_ptr<ContinuousDeployment> deployment_ptr =
+      MakeScenarioDeployment(scenario);
+  ContinuousDeployment& deployment = *deployment_ptr;
+
+  serving::SnapshotPublisher publisher;
+  serving::PredictionService::Options service_options;
+  service_options.num_threads = scenario.serving_threads;
+  service_options.deployment_id = deployment.deployment_id();
+  serving::PredictionService service(&publisher, service_options);
+  if (scenario.attach_serving) {
+    deployment.AttachServing(&publisher, &service, scenario.serve_evaluation);
+    if (!service.Start().ok()) {
+      result.status = Status::Internal("failed to start prediction service");
+      return result;
+    }
+  }
 
   {
     // The script covers stream generation too: short-read sites live in
@@ -59,8 +81,10 @@ ScenarioResult RunScenario(const Scenario& scenario) {
     if (scenario.arm_injector) {
       script = std::make_unique<ScopedFaultScript>(scenario.faults);
     }
-    const std::vector<RawChunk> stream = MakeStream(scenario.num_chunks);
+    const std::vector<RawChunk> stream =
+        MakeScenarioStream(scenario.num_chunks);
     Result<DeploymentReport> report = deployment.Run(stream);
+    if (scenario.attach_serving) service.Stop();
     if (!report.ok()) {
       result.status = report.status();
       return result;

@@ -1,6 +1,7 @@
 #ifndef CDPIPE_TESTS_SCENARIOS_SCENARIO_RUNNER_H_
 #define CDPIPE_TESTS_SCENARIOS_SCENARIO_RUNNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,13 @@ struct Scenario {
   uint64_t seed = 3;
   size_t proactive_every_chunks = 3;
   size_t sample_chunks = 5;
+
+  /// Serving tier: when true a SnapshotPublisher + started PredictionService
+  /// are attached for the whole run; with `serve_evaluation` the prequential
+  /// evaluate step routes through the service (serve-then-train).
+  bool attach_serving = false;
+  bool serve_evaluation = false;
+  int serving_threads = 2;
 };
 
 struct ScenarioResult {
@@ -51,6 +59,15 @@ struct ScenarioResult {
 /// report plus the final-state fingerprint.  The script is disarmed before
 /// returning, whatever happens.
 ScenarioResult RunScenario(const Scenario& scenario);
+
+/// The canonical scenario stream (URL generator, fixed seeds) — exposed so
+/// serving scenarios can replay the exact same chunks on a background
+/// deployment thread while hammering the prediction front-end.
+std::vector<RawChunk> MakeScenarioStream(size_t num_chunks);
+
+/// The canonical scenario deployment, unarmed and not yet run.
+std::unique_ptr<ContinuousDeployment> MakeScenarioDeployment(
+    const Scenario& scenario);
 
 }  // namespace testing
 }  // namespace cdpipe
