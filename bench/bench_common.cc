@@ -192,6 +192,8 @@ DeploymentReport RunDeployment(const Scenario& scenario, StrategyKind kind,
                                const RunOverrides& overrides) {
   Deployment::Options options;
   options.store.max_materialized_chunks = overrides.max_materialized_chunks;
+  options.store.memory_budget_bytes = overrides.memory_budget_bytes;
+  options.store.spill_dir = overrides.spill_dir;
   options.sampler = overrides.sampler;
   options.sampler_window =
       overrides.sampler_window > 0

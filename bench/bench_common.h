@@ -128,6 +128,9 @@ struct RunOverrides {
   SamplerKind sampler = SamplerKind::kTime;
   size_t sampler_window = 0;  ///< 0 = half the stream, set at run time
   size_t max_materialized_chunks = SIZE_MAX;
+  /// Two-tier raw storage (both must be set to spill; see ChunkStore).
+  size_t memory_budget_bytes = 0;
+  std::string spill_dir;
   bool online_statistics = true;
   bool warm_start = true;
   std::function<OptimizerOptions(OptimizerOptions)> tweak_optimizer;

@@ -87,7 +87,7 @@ int main() {
   std::printf("%s\n", report->Summary().c_str());
   std::printf("cost breakdown: %s\n", report->cost.ToString().c_str());
   std::printf("materialization: %lld hits, %lld misses (mu=%.2f)\n",
-              static_cast<long long>(report->storage.sample_hits),
+              static_cast<long long>(report->storage.SampleHits()),
               static_cast<long long>(report->storage.sample_misses),
               report->empirical_mu);
   if (obs::Tracer::Global().enabled()) {

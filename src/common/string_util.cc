@@ -247,4 +247,13 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 }  // namespace cdpipe

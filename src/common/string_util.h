@@ -49,6 +49,11 @@ std::string FormatDateTime(int64_t unix_seconds);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// FNV-1a over `bytes` (64-bit offset basis / prime).  The integrity hash
+/// used by checkpoint trailers, spill-file trailers, and the fusion plan
+/// cache's schema fingerprints.
+uint64_t Fnv1a64(std::string_view bytes);
+
 }  // namespace cdpipe
 
 #endif  // CDPIPE_COMMON_STRING_UTIL_H_

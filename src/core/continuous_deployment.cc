@@ -80,6 +80,16 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
     continuous_options_.scheduler->OnTrainingCompleted(
         static_cast<double>(chunk.event_time_seconds),
         trainer_.stats().last_duration_seconds);
+  } else {
+    // Static schedule: the next proactive sample is exactly
+    // `proactive_every_chunks` chunks away and the rng state it will see is
+    // the one we hold right now — predict its picks and stage any spilled
+    // chunks while the stream keeps flowing.  (A drift burst in between
+    // consumes rng draws and wastes the prefetch; correctness is
+    // unaffected.)  No-op without a disk tier.
+    data_manager().PrefetchForNextSample(
+        continuous_options_.sample_chunks,
+        continuous_options_.proactive_every_chunks, rng());
   }
   return Status::OK();
 }
@@ -98,7 +108,8 @@ Status ContinuousDeployment::RunDriftBurst() {
       if (const FeatureChunk* features =
               data_manager().store().GetFeatures(id)) {
         sample.materialized.push_back(features);
-      } else if (const RawChunk* raw = data_manager().store().GetRaw(id)) {
+      } else if (const RawChunk* raw =
+                     data_manager().mutable_store().FetchRaw(id)) {
         sample.to_rematerialize.push_back(raw);
       }
     }

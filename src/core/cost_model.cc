@@ -19,6 +19,10 @@ const char* CostPhaseName(CostPhase phase) {
       return "materialization";
     case CostPhase::kPrediction:
       return "prediction";
+    case CostPhase::kSpill:
+      return "spill";
+    case CostPhase::kDiskLoad:
+      return "disk-load";
     case CostPhase::kNumPhases:
       break;
   }

@@ -21,6 +21,9 @@ enum class CostPhase {
   kRetraining,           ///< full retraining (periodical)
   kMaterialization,      ///< re-materializing evicted feature chunks
   kPrediction,           ///< answering prediction queries
+  kSpill,                ///< encoding + writing raw chunks to the disk tier
+  kDiskLoad,             ///< reading + decoding spilled chunks (sync or
+                         ///< prefetch — disk latency either way)
   kNumPhases,
 };
 

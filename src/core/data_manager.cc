@@ -7,6 +7,7 @@
 #include "src/obs/correlation.h"
 #include "src/obs/event_journal.h"
 #include "src/obs/health.h"
+#include "src/storage/prefetcher.h"
 #include "src/testing/fault_injector.h"
 
 namespace cdpipe {
@@ -25,6 +26,8 @@ DataManager::DataManager(ChunkStore::Options store_options,
     : store_(store_options), sampler_(std::move(sampler)) {
   CDPIPE_CHECK(sampler_ != nullptr);
 }
+
+DataManager::~DataManager() = default;
 
 Result<ChunkId> DataManager::IngestRecords(std::vector<std::string> records,
                                            int64_t event_time_seconds) {
@@ -85,8 +88,18 @@ Result<DataManager::SampleSet> DataManager::SampleForTraining(
       journal.Append(obs::EventKind::kMaterializeHit,
                      obs::CorrelationScope::WithEntity(id));
     } else {
-      const RawChunk* raw = store_.GetRaw(id);
-      CDPIPE_CHECK(raw != nullptr) << "sampler returned a dead chunk id";
+      const RawChunk* raw = store_.FetchRaw(id);
+      if (raw == nullptr) {
+        if (!store_.spilling_enabled()) {
+          CDPIPE_CHECK(raw != nullptr) << "sampler returned a dead chunk id";
+        }
+        // Disk tier degraded under us (corrupt file dropped, read failure):
+        // train on one chunk fewer rather than fail the sample.
+        journal.Append(obs::EventKind::kDegrade,
+                       obs::CorrelationScope::WithEntity(id),
+                       "sample_chunk_unavailable");
+        continue;
+      }
       out.to_rematerialize.push_back(raw);
       journal.Append(obs::EventKind::kMaterializeMiss,
                      obs::CorrelationScope::WithEntity(id));
@@ -102,6 +115,34 @@ Result<DataManager::SampleSet> DataManager::SampleForTraining(
 void DataManager::set_sampler(std::unique_ptr<Sampler> sampler) {
   CDPIPE_CHECK(sampler != nullptr);
   sampler_ = std::move(sampler);
+}
+
+void DataManager::EnablePrefetch(ExecutionEngine* engine) {
+  CDPIPE_CHECK(engine != nullptr);
+  prefetcher_ = std::make_unique<Prefetcher>(&store_, engine);
+}
+
+void DataManager::DisablePrefetch() { prefetcher_.reset(); }
+
+void DataManager::PrefetchForNextSample(size_t sample_size,
+                                        size_t chunks_ahead, const Rng& rng) {
+  if (prefetcher_ == nullptr || !store_.spilling_enabled()) return;
+  // The live-id list at the next sample: today's chunks plus the
+  // `chunks_ahead` consecutive ids about to be ingested, trimmed to the
+  // retention bound from the front exactly as the store will trim it.
+  std::vector<ChunkId> future = store_.LiveIds();
+  future.reserve(future.size() + chunks_ahead);
+  for (size_t i = 0; i < chunks_ahead; ++i) {
+    future.push_back(next_id_ + static_cast<ChunkId>(i));
+  }
+  const size_t max_raw = store_.options().max_raw_chunks;
+  if (max_raw > 0 && future.size() > max_raw) {
+    future.erase(future.begin(),
+                 future.begin() + static_cast<ptrdiff_t>(future.size() -
+                                                         max_raw));
+  }
+  Rng clone = rng;
+  prefetcher_->Schedule(sampler_->Sample(future, sample_size, &clone));
 }
 
 }  // namespace cdpipe

@@ -13,6 +13,9 @@
 
 namespace cdpipe {
 
+class ExecutionEngine;
+class Prefetcher;
+
 /// The platform's data manager (paper §4.2): discretizes incoming training
 /// data into timestamped chunks, stores raw and feature chunks, and serves
 /// samples for proactive training, distinguishing chunks that are
@@ -32,6 +35,7 @@ class DataManager {
 
   DataManager(ChunkStore::Options store_options,
               std::unique_ptr<Sampler> sampler);
+  ~DataManager();
 
   /// Discretization (workflow step 1): wraps `records` into a chunk with the
   /// next timestamp id and appends it to the raw log.  Returns the id.
@@ -58,12 +62,34 @@ class DataManager {
   /// Swaps the sampling strategy (e.g. mid-experiment ablations).
   void set_sampler(std::unique_ptr<Sampler> sampler);
 
+  /// Attaches an async prefetcher running on `engine`'s async lane.  Only
+  /// meaningful when the store's disk tier is configured; `engine` must
+  /// outlive this manager.
+  void EnablePrefetch(ExecutionEngine* engine);
+  /// Drains and destroys the prefetcher.  Must run while the engine passed
+  /// to EnablePrefetch is still alive.
+  void DisablePrefetch();
+  bool prefetch_enabled() const { return prefetcher_ != nullptr; }
+
+  /// Predicts the chunk ids the *next* SampleForTraining call will draw —
+  /// the sampler is deterministic and `*rng` is cloned, not consumed — and
+  /// stages the spilled ones in the background.  `chunks_ahead` is how many
+  /// not-yet-ingested chunks will arrive before that sample (their ids are
+  /// the next consecutive timestamps).  No-op without a prefetcher or disk
+  /// tier.  Purely an overlap optimization: results are bit-identical with
+  /// or without it.
+  void PrefetchForNextSample(size_t sample_size, size_t chunks_ahead,
+                             const Rng& rng);
+
   ChunkId next_id() const { return next_id_; }
 
  private:
   ChunkStore store_;
   std::unique_ptr<Sampler> sampler_;
   ChunkId next_id_ = 0;
+  /// Declared after store_: its destructor drains the async loads that
+  /// touch the store.
+  std::unique_ptr<Prefetcher> prefetcher_;
 };
 
 }  // namespace cdpipe

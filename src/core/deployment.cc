@@ -65,6 +65,20 @@ Deployment::Deployment(std::string strategy_name, Options options,
       rng_(options_.seed) {
   CDPIPE_CHECK(metric_prototype_ != nullptr);
   engine_.set_retry_policy(options_.retry);
+  data_manager_.mutable_store().set_cost_model(&cost_);
+  // A configured disk tier gets the async prefetcher: the strategy hooks
+  // predict the next sample's chunk ids and stage the spilled ones on the
+  // engine's async lane while the trainer works.
+  if (data_manager_.store().spilling_enabled()) {
+    data_manager_.EnablePrefetch(&engine_);
+  }
+}
+
+Deployment::~Deployment() {
+  // The prefetcher's destructor drains the engine's async lane; detach it
+  // here while the engine member is still alive (members are destroyed in
+  // reverse declaration order: engine_ before data_manager_).
+  data_manager_.DisablePrefetch();
 }
 
 Status Deployment::InitialTrain(const std::vector<RawChunk>& bootstrap,
@@ -299,6 +313,15 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   report.cost = cost_;
   report.storage = data_manager_.store().counters();
   report.empirical_mu = report.storage.EmpiricalMu();
+  report.memory_mu = report.storage.MemoryMu();
+  report.disk_mu = report.storage.DiskMu();
+  report.prefetch_hit_rate = report.storage.PrefetchHitRate();
+  report.spill_compression_ratio = report.storage.SpillCompressionRatio();
+  report.chunks_spilled = report.storage.chunks_spilled;
+  report.disk_loads = report.storage.disk_loads;
+  report.prefetch_hits = report.storage.prefetch_hits;
+  report.spill_failures = report.storage.spill_failures;
+  report.spill_corrupt_detected = report.storage.spill_corrupt_detected;
   report.chunks_processed = static_cast<int64_t>(stream.size());
   report.initial_training_epochs = initial_training_epochs_;
   report.metrics = obs::MetricsSnapshot::Delta(

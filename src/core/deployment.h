@@ -69,7 +69,7 @@ class Deployment {
              std::unique_ptr<LinearModel> model,
              std::unique_ptr<Optimizer> optimizer,
              std::unique_ptr<Metric> metric);
-  virtual ~Deployment() = default;
+  virtual ~Deployment();
 
   Deployment(const Deployment&) = delete;
   Deployment& operator=(const Deployment&) = delete;

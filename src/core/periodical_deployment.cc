@@ -72,8 +72,18 @@ Status PeriodicalDeployment::Retrain() {
     if (const FeatureChunk* features = data_manager().store().GetFeatures(id)) {
       parts.push_back(&features->data);
     } else {
-      const RawChunk* raw = data_manager().store().GetRaw(id);
-      CDPIPE_CHECK(raw != nullptr);
+      // FetchRaw pins disk-tier chunks until the next ingest — long enough
+      // for the retraining pass below.  A null here means the disk tier
+      // degraded (corrupt file dropped, read failure): retrain on the rest.
+      const RawChunk* raw = data_manager().mutable_store().FetchRaw(id);
+      if (raw == nullptr) {
+        CDPIPE_CHECK(data_manager().store().spilling_enabled())
+            << "live chunk " << id << " has no raw bytes";
+        obs::EventJournal::Global().Append(
+            obs::EventKind::kDegrade, obs::CorrelationScope::WithEntity(id),
+            "retrain_chunk_unavailable");
+        continue;
+      }
       to_transform.push_back(raw);
     }
   }

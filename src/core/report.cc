@@ -36,7 +36,7 @@ std::vector<DeploymentReport::PointRow> DeploymentReport::SampledCurve(
 }
 
 std::string DeploymentReport::Summary() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%s: final %s=%.5f (avg %.5f), cost %.2fs / %lld work units, "
       "proactive=%lld (avg %.4fs), retrainings=%lld, mu=%.3f, "
       "chunks=%lld",
@@ -45,6 +45,14 @@ std::string DeploymentReport::Summary() const {
       static_cast<long long>(proactive_iterations), average_proactive_seconds,
       static_cast<long long>(retrainings), empirical_mu,
       static_cast<long long>(chunks_processed));
+  if (chunks_spilled > 0) {
+    out += StrFormat(
+        ", spilled=%lld (ratio %.2f), mu_mem=%.3f mu_disk=%.3f, "
+        "prefetch_hit_rate=%.2f",
+        static_cast<long long>(chunks_spilled), spill_compression_ratio,
+        memory_mu, disk_mu, prefetch_hit_rate);
+  }
+  return out;
 }
 
 std::ostream& operator<<(std::ostream& os, const DeploymentReport& report) {

@@ -72,6 +72,20 @@ struct DeploymentReport {
   int64_t snapshot_publishes = 0;
   int64_t serving_eval_fallbacks = 0;
 
+  /// Two-tier storage accounting (all zero without a disk tier): μ split by
+  /// the tier the sampled chunk's raw bytes occupied, the prefetcher's
+  /// share of disk loads, and the spill codec's compressed-to-raw ratio.
+  /// The raw counts live in `storage`.
+  double memory_mu = 0.0;
+  double disk_mu = 0.0;
+  double prefetch_hit_rate = 0.0;
+  double spill_compression_ratio = 0.0;
+  int64_t chunks_spilled = 0;
+  int64_t disk_loads = 0;
+  int64_t prefetch_hits = 0;
+  int64_t spill_failures = 0;
+  int64_t spill_corrupt_detected = 0;
+
   /// Serializes the curve as CSV with a header row.
   std::string CurveToCsv() const;
 

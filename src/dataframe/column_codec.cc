@@ -1,0 +1,399 @@
+#include "src/dataframe/column_codec.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace cdpipe {
+namespace {
+
+/// String-payload encodings, ordered by preference on equal size.
+enum class StringMode : uint8_t {
+  kRaw = 0,     ///< varint lengths + concatenated bytes
+  kDict = 1,    ///< distinct values (first-occurrence order) + indexes
+  kTokens = 2,  ///< space-separated tokens dictionary-coded per row
+};
+
+void PutFixed64(uint64_t v, std::string* out) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 8);
+}
+
+bool GetFixed64(std::string_view bytes, size_t* offset, uint64_t* out) {
+  if (bytes.size() - *offset < 8 || *offset > bytes.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(bytes[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 8;
+  *out = v;
+  return true;
+}
+
+/// Splits `s` on single spaces.  Returns false when the cell cannot be
+/// reproduced as `join(' ', tokens)` — leading/trailing/double spaces.
+bool TokenizeExact(std::string_view s, std::vector<std::string_view>* out) {
+  out->clear();
+  if (s.empty()) return true;
+  size_t start = 0;
+  while (true) {
+    const size_t space = s.find(' ', start);
+    const std::string_view token =
+        space == std::string_view::npos ? s.substr(start)
+                                        : s.substr(start, space - start);
+    if (token.empty()) return false;  // leading, trailing, or double space
+    out->push_back(token);
+    if (space == std::string_view::npos) return true;
+    start = space + 1;
+  }
+}
+
+/// Assigns `value` a dictionary slot in first-occurrence order.
+uint64_t Intern(std::string_view value,
+                std::unordered_map<std::string_view, uint64_t>* index,
+                std::vector<std::string_view>* entries) {
+  auto [it, inserted] = index->emplace(value, entries->size());
+  if (inserted) entries->push_back(value);
+  return it->second;
+}
+
+void EncodeStringPayload(const Column& col, std::string* out) {
+  const size_t rows = col.size();
+
+  // Raw: varint lengths + concatenated bytes.
+  std::string raw;
+  {
+    size_t total = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      const std::string_view s = col.StringAt(i);
+      PutVarint64(s.size(), &raw);
+      total += s.size();
+    }
+    raw.reserve(raw.size() + total);
+    for (size_t i = 0; i < rows; ++i) {
+      const std::string_view s = col.StringAt(i);
+      raw.append(s.data(), s.size());
+    }
+  }
+
+  // Dictionary: distinct cells in first-occurrence order + per-row indexes.
+  std::string dict;
+  {
+    std::unordered_map<std::string_view, uint64_t> index;
+    std::vector<std::string_view> entries;
+    std::vector<uint64_t> codes;
+    codes.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      codes.push_back(Intern(col.StringAt(i), &index, &entries));
+    }
+    PutVarint64(entries.size(), &dict);
+    for (const std::string_view e : entries) {
+      PutVarint64(e.size(), &dict);
+      dict.append(e.data(), e.size());
+    }
+    for (const uint64_t c : codes) PutVarint64(c, &dict);
+  }
+
+  // Tokenized dictionary: only when every cell splits/joins losslessly.
+  std::string tokens;
+  bool tokens_ok = true;
+  {
+    std::unordered_map<std::string_view, uint64_t> index;
+    std::vector<std::string_view> entries;
+    std::vector<std::vector<uint64_t>> row_codes(rows);
+    std::vector<std::string_view> scratch;
+    for (size_t i = 0; i < rows && tokens_ok; ++i) {
+      if (!TokenizeExact(col.StringAt(i), &scratch)) {
+        tokens_ok = false;
+        break;
+      }
+      row_codes[i].reserve(scratch.size());
+      for (const std::string_view t : scratch) {
+        row_codes[i].push_back(Intern(t, &index, &entries));
+      }
+    }
+    if (tokens_ok) {
+      PutVarint64(entries.size(), &tokens);
+      for (const std::string_view e : entries) {
+        PutVarint64(e.size(), &tokens);
+        tokens.append(e.data(), e.size());
+      }
+      for (const std::vector<uint64_t>& codes : row_codes) {
+        PutVarint64(codes.size(), &tokens);
+        for (const uint64_t c : codes) PutVarint64(c, &tokens);
+      }
+    }
+  }
+
+  StringMode mode = StringMode::kRaw;
+  const std::string* payload = &raw;
+  if (dict.size() < payload->size()) {
+    mode = StringMode::kDict;
+    payload = &dict;
+  }
+  if (tokens_ok && tokens.size() < payload->size()) {
+    mode = StringMode::kTokens;
+    payload = &tokens;
+  }
+  out->push_back(static_cast<char>(mode));
+  out->append(*payload);
+}
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("column decode: ") + what);
+}
+
+Status DecodeStringPayload(std::string_view bytes, size_t* offset,
+                           size_t rows, Column* col) {
+  if (*offset >= bytes.size()) return Corrupt("missing string mode");
+  const uint8_t mode_byte = static_cast<uint8_t>(bytes[(*offset)++]);
+  switch (static_cast<StringMode>(mode_byte)) {
+    case StringMode::kRaw: {
+      std::vector<uint64_t> lengths(rows);
+      uint64_t total = 0;
+      for (size_t i = 0; i < rows; ++i) {
+        if (!GetVarint64(bytes, offset, &lengths[i])) {
+          return Corrupt("truncated string length");
+        }
+        total += lengths[i];
+      }
+      if (bytes.size() - *offset < total || *offset > bytes.size()) {
+        return Corrupt("truncated string bytes");
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        col->AppendString(bytes.substr(*offset, lengths[i]));
+        *offset += lengths[i];
+      }
+      return Status::OK();
+    }
+    case StringMode::kDict: {
+      uint64_t num_entries = 0;
+      if (!GetVarint64(bytes, offset, &num_entries)) {
+        return Corrupt("truncated dictionary size");
+      }
+      if (num_entries > bytes.size()) return Corrupt("dictionary too large");
+      std::vector<std::string_view> entries;
+      entries.reserve(num_entries);
+      for (uint64_t e = 0; e < num_entries; ++e) {
+        uint64_t len = 0;
+        if (!GetVarint64(bytes, offset, &len) ||
+            bytes.size() - *offset < len) {
+          return Corrupt("truncated dictionary entry");
+        }
+        entries.push_back(bytes.substr(*offset, len));
+        *offset += len;
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        uint64_t code = 0;
+        if (!GetVarint64(bytes, offset, &code) || code >= entries.size()) {
+          return Corrupt("bad dictionary code");
+        }
+        col->AppendString(entries[code]);
+      }
+      return Status::OK();
+    }
+    case StringMode::kTokens: {
+      uint64_t num_entries = 0;
+      if (!GetVarint64(bytes, offset, &num_entries)) {
+        return Corrupt("truncated token dictionary size");
+      }
+      if (num_entries > bytes.size()) {
+        return Corrupt("token dictionary too large");
+      }
+      std::vector<std::string_view> entries;
+      entries.reserve(num_entries);
+      for (uint64_t e = 0; e < num_entries; ++e) {
+        uint64_t len = 0;
+        if (!GetVarint64(bytes, offset, &len) ||
+            bytes.size() - *offset < len) {
+          return Corrupt("truncated token entry");
+        }
+        entries.push_back(bytes.substr(*offset, len));
+        *offset += len;
+      }
+      std::string cell;
+      for (size_t i = 0; i < rows; ++i) {
+        uint64_t num_tokens = 0;
+        if (!GetVarint64(bytes, offset, &num_tokens)) {
+          return Corrupt("truncated token count");
+        }
+        cell.clear();
+        for (uint64_t t = 0; t < num_tokens; ++t) {
+          uint64_t code = 0;
+          if (!GetVarint64(bytes, offset, &code) ||
+              code >= entries.size()) {
+            return Corrupt("bad token code");
+          }
+          if (t > 0) cell.push_back(' ');
+          cell.append(entries[code]);
+        }
+        col->AppendString(cell);
+      }
+      return Status::OK();
+    }
+  }
+  return Corrupt("unknown string mode");
+}
+
+}  // namespace
+
+void PutVarint64(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(std::string_view bytes, size_t* offset, uint64_t* out) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*offset >= bytes.size()) return false;
+    const uint8_t byte = static_cast<uint8_t>(bytes[(*offset)++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;  // over-long encoding
+}
+
+void EncodeColumn(const Column& col, std::string* out) {
+  CDPIPE_CHECK(col.type() != ValueType::kNull)
+      << "cannot encode an untyped column";
+  const size_t rows = col.size();
+  out->push_back(static_cast<char>(col.type()));
+  PutVarint64(rows, out);
+  out->push_back(col.has_nulls() ? '\1' : '\0');
+  if (col.has_nulls()) {
+    const size_t words = (rows + 63) / 64;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = 0;
+      const size_t limit = std::min(rows - w * 64, size_t{64});
+      for (size_t b = 0; b < limit; ++b) {
+        if (col.IsNull(w * 64 + b)) word |= uint64_t{1} << b;
+      }
+      PutFixed64(word, out);
+    }
+  }
+  switch (col.type()) {
+    case ValueType::kDouble: {
+      const std::vector<double>& values = col.doubles();
+      const size_t start = out->size();
+      out->resize(start + rows * sizeof(double));
+      if (rows > 0) {
+        std::memcpy(out->data() + start, values.data(),
+                    rows * sizeof(double));
+      }
+      break;
+    }
+    case ValueType::kInt64:
+    case ValueType::kTimestamp: {
+      const std::vector<int64_t>& values = col.ints();
+      int64_t previous = 0;
+      for (size_t i = 0; i < rows; ++i) {
+        // Deltas wrap in uint64 space: int64 subtraction overflows on
+        // extreme value pairs, unsigned wrap-around round-trips exactly.
+        const uint64_t delta = static_cast<uint64_t>(values[i]) -
+                               static_cast<uint64_t>(previous);
+        PutVarint64(ZigZagEncode(static_cast<int64_t>(delta)), out);
+        previous = values[i];
+      }
+      break;
+    }
+    case ValueType::kString:
+      EncodeStringPayload(col, out);
+      break;
+    case ValueType::kNull:
+      break;  // unreachable (checked above)
+  }
+}
+
+Result<Column> DecodeColumn(std::string_view bytes, size_t* offset) {
+  if (*offset >= bytes.size()) return Corrupt("empty input");
+  const uint8_t type_byte = static_cast<uint8_t>(bytes[(*offset)++]);
+  const ValueType type = static_cast<ValueType>(type_byte);
+  if (type != ValueType::kDouble && type != ValueType::kInt64 &&
+      type != ValueType::kTimestamp && type != ValueType::kString) {
+    return Corrupt("bad column type");
+  }
+  uint64_t rows64 = 0;
+  if (!GetVarint64(bytes, offset, &rows64)) return Corrupt("truncated rows");
+  // A row count cannot exceed one row per remaining payload bit; anything
+  // larger is a corrupt header, rejected before any allocation.
+  if (rows64 > (bytes.size() - *offset + 1) * 8) {
+    return Corrupt("implausible row count");
+  }
+  const size_t rows = static_cast<size_t>(rows64);
+  if (*offset >= bytes.size()) return Corrupt("missing null flag");
+  const uint8_t null_flag = static_cast<uint8_t>(bytes[(*offset)++]);
+  if (null_flag > 1) return Corrupt("bad null flag");
+  std::vector<uint64_t> null_words;
+  if (null_flag == 1) {
+    const size_t words = (rows + 63) / 64;
+    null_words.resize(words);
+    for (size_t w = 0; w < words; ++w) {
+      if (!GetFixed64(bytes, offset, &null_words[w])) {
+        return Corrupt("truncated null bitmap");
+      }
+    }
+  }
+
+  Column col(type);
+  col.Reserve(rows);
+  switch (type) {
+    case ValueType::kDouble: {
+      if (bytes.size() - *offset < rows * sizeof(double) ||
+          *offset > bytes.size()) {
+        return Corrupt("truncated double payload");
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        double v = 0.0;
+        std::memcpy(&v, bytes.data() + *offset, sizeof(double));
+        *offset += sizeof(double);
+        col.AppendDouble(v);
+      }
+      break;
+    }
+    case ValueType::kInt64:
+    case ValueType::kTimestamp: {
+      int64_t previous = 0;
+      for (size_t i = 0; i < rows; ++i) {
+        uint64_t encoded = 0;
+        if (!GetVarint64(bytes, offset, &encoded)) {
+          return Corrupt("truncated int payload");
+        }
+        previous = static_cast<int64_t>(
+            static_cast<uint64_t>(previous) +
+            static_cast<uint64_t>(ZigZagDecode(encoded)));
+        col.AppendInt64(previous);
+      }
+      break;
+    }
+    case ValueType::kString: {
+      CDPIPE_RETURN_NOT_OK(DecodeStringPayload(bytes, offset, rows, &col));
+      break;
+    }
+    case ValueType::kNull:
+      break;  // unreachable
+  }
+  for (size_t w = 0; w < null_words.size(); ++w) {
+    uint64_t word = null_words[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      word &= word - 1;
+      const size_t row = w * 64 + static_cast<size_t>(bit);
+      if (row >= rows) return Corrupt("null bit beyond row count");
+      col.MarkNull(row);
+    }
+  }
+  return col;
+}
+
+}  // namespace cdpipe

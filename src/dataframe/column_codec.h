@@ -1,0 +1,59 @@
+#ifndef CDPIPE_DATAFRAME_COLUMN_CODEC_H_
+#define CDPIPE_DATAFRAME_COLUMN_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/dataframe/column.h"
+
+namespace cdpipe {
+
+/// Compact binary column encoding for the chunk store's disk tier.
+///
+/// Per type:
+///  - kDouble: raw little-endian 8-byte payloads (bit-identical round trip,
+///    including NaN payloads and placeholder values at null slots);
+///  - kInt64 / kTimestamp: zigzag-varint delta chain (timestamps and ids
+///    are near-monotonic, so deltas are small);
+///  - kString: the smallest of three modes, chosen per column — raw
+///    (varint lengths + concatenated bytes), dictionary (distinct values in
+///    first-occurrence order + per-row indexes), or tokenized dictionary
+///    (space-separated tokens dictionary-coded; only eligible when
+///    `join(' ', split(s))` reproduces every cell exactly).
+///
+/// Null bitmaps are encoded as packed little-endian u64 words; decode
+/// restores the placeholder payloads first and then re-marks the null bits,
+/// so a decoded column is cell-for-cell identical to the encoded one.
+/// Borrowed-view string columns encode fine (the codec reads through
+/// `StringAt`); decoding always produces an owning column.
+///
+/// The encoding is self-delimiting: columns can be concatenated and decoded
+/// back in sequence.  It carries no checksum of its own — framing and
+/// integrity belong to the container (see storage/spill_file.h).
+
+/// Appends the encoding of `col` to `*out`.  CHECK-fails on an untyped
+/// (kNull) column — the store never holds those.
+void EncodeColumn(const Column& col, std::string* out);
+
+/// Decodes one column starting at `*offset`, advancing `*offset` past it.
+/// On error `*offset` is unspecified but nothing is leaked and no partial
+/// column escapes.
+Result<Column> DecodeColumn(std::string_view bytes, size_t* offset);
+
+/// LEB128 varint helpers (exposed for the spill-file container format).
+void PutVarint64(uint64_t v, std::string* out);
+bool GetVarint64(std::string_view bytes, size_t* offset, uint64_t* out);
+
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_DATAFRAME_COLUMN_CODEC_H_

@@ -1,8 +1,12 @@
 #ifndef CDPIPE_ENGINE_EXECUTION_ENGINE_H_
 #define CDPIPE_ENGINE_EXECUTION_ENGINE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/retry.h"
@@ -23,6 +27,8 @@ namespace cdpipe {
 class ExecutionEngine {
  public:
   explicit ExecutionEngine(size_t num_threads = 1);
+  /// Joins the async lane (after draining queued work).
+  ~ExecutionEngine();
 
   ExecutionEngine(const ExecutionEngine&) = delete;
   ExecutionEngine& operator=(const ExecutionEngine&) = delete;
@@ -60,13 +66,41 @@ class ExecutionEngine {
       size_t count, size_t grain,
       const std::function<Status(size_t, size_t)>& task);
 
+  /// Enqueues `task` on the engine's *async lane*: one dedicated FIFO
+  /// worker, lazily created on first use and separate from the ParallelFor
+  /// pool — background IO (spill prefetch) never competes with training
+  /// fan-out or perturbs the "engine.task" fault accounting.  Tasks run in
+  /// submission order; an escaping exception is contained and counted
+  /// (`engine.async_exceptions` metric), never propagated.  Available on
+  /// single-threaded engines too: async overlap does not change what any
+  /// task computes, so determinism is preserved.
+  void SubmitAsync(std::function<void()> task);
+
+  /// Blocks until every async task submitted so far has finished.  Safe to
+  /// call when the lane was never used.
+  void DrainAsync();
+
  private:
   /// One ParallelFor task attempt-with-retries: fault points, exception
   /// conversion, transient-retry loop.
   Status RunTask(const std::function<Status(size_t)>& task, size_t index);
 
+  /// The async lane's worker state (see SubmitAsync).
+  struct AsyncLane {
+    std::mutex mu;
+    std::condition_variable wake;   ///< worker: queue non-empty or stopping
+    std::condition_variable drained;  ///< waiters: queue empty + idle
+    std::deque<std::function<void()>> queue;
+    size_t in_flight = 0;  ///< tasks popped but not yet finished
+    bool stop = false;
+    std::thread worker;
+  };
+
+  void AsyncWorkerLoop();
+
   std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
   RetryPolicy retry_policy_ = RetryPolicy::None();
+  std::unique_ptr<AsyncLane> async_;  // null until first SubmitAsync
 };
 
 }  // namespace cdpipe

@@ -97,6 +97,12 @@ const char* EventKindName(EventKind kind) {
       return "snapshot_publish";
     case EventKind::kSnapshotSwap:
       return "snapshot_swap";
+    case EventKind::kSpill:
+      return "spill";
+    case EventKind::kDiskLoad:
+      return "disk_load";
+    case EventKind::kPrefetchHit:
+      return "prefetch_hit";
   }
   return "unknown";
 }

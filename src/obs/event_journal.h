@@ -33,6 +33,9 @@ enum class EventKind : uint8_t {
   kPlanCompile,         ///< fused transform plan (re)compiled for a pipeline
   kSnapshotPublish,     ///< serving snapshot epoch published
   kSnapshotSwap,        ///< serving snapshot replaced a previous epoch
+  kSpill,               ///< raw chunk written to the disk tier
+  kDiskLoad,            ///< spilled chunk loaded synchronously
+  kPrefetchHit,         ///< spilled chunk served from the prefetch stage
 };
 
 /// Stable lowercase identifier ("ingest", "materialize_hit", ...).

@@ -1,12 +1,16 @@
 #include "src/storage/chunk_store.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/core/cost_model.h"
 #include "src/obs/correlation.h"
 #include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
+#include "src/storage/spill_file.h"
 #include "src/testing/fault_injector.h"
 
 namespace cdpipe {
@@ -21,12 +25,21 @@ struct StoreMetrics {
   obs::Counter* features_inserted;
   obs::Counter* features_rematerialized;
   obs::Counter* evictions;
-  obs::Counter* sample_hits;
+  obs::Counter* sample_hits;  ///< either tier (the pre-split metric)
+  obs::Counter* memory_hits;
+  obs::Counter* disk_hits;
   obs::Counter* sample_misses;
+  obs::Counter* chunks_spilled;
+  obs::Counter* spill_failures;
+  obs::Counter* disk_loads;
+  obs::Counter* prefetch_hits;
+  obs::Counter* spill_corrupt;
   obs::Gauge* num_raw;
   obs::Gauge* num_materialized;
   obs::Gauge* raw_bytes;
   obs::Gauge* feature_bytes;
+  obs::Gauge* disk_bytes;
+  obs::Gauge* spill_files;
   obs::Gauge* empirical_mu;
 
   static const StoreMetrics& Get() {
@@ -41,11 +54,21 @@ struct StoreMetrics {
           registry.GetCounter("chunk_store.features_rematerialized");
       m.evictions = registry.GetCounter("chunk_store.evictions");
       m.sample_hits = registry.GetCounter("chunk_store.sample_hits");
+      m.memory_hits = registry.GetCounter("chunk_store.memory_hits");
+      m.disk_hits = registry.GetCounter("chunk_store.disk_hits");
       m.sample_misses = registry.GetCounter("chunk_store.sample_misses");
+      m.chunks_spilled = registry.GetCounter("chunk_store.chunks_spilled");
+      m.spill_failures = registry.GetCounter("chunk_store.spill_failures");
+      m.disk_loads = registry.GetCounter("chunk_store.disk_loads");
+      m.prefetch_hits = registry.GetCounter("chunk_store.prefetch_hits");
+      m.spill_corrupt =
+          registry.GetCounter("chunk_store.spill_corrupt_detected");
       m.num_raw = registry.GetGauge("chunk_store.num_raw");
       m.num_materialized = registry.GetGauge("chunk_store.num_materialized");
       m.raw_bytes = registry.GetGauge("chunk_store.raw_bytes");
       m.feature_bytes = registry.GetGauge("chunk_store.feature_bytes");
+      m.disk_bytes = registry.GetGauge("chunk_store.disk_bytes");
+      m.spill_files = registry.GetGauge("chunk_store.spill_files");
       m.empirical_mu = registry.GetGauge("chunk_store.empirical_mu");
       return m;
     }();
@@ -55,9 +78,18 @@ struct StoreMetrics {
 
 }  // namespace
 
-ChunkStore::ChunkStore(Options options) : options_(options) {}
+ChunkStore::ChunkStore(Options options) : options_(std::move(options)) {}
+
+ChunkStore::~ChunkStore() {
+  for (const auto& [id, entry] : spilled_) {
+    std::remove(entry.path.c_str());
+  }
+}
 
 Status ChunkStore::PutRaw(RawChunk chunk) {
+  // Pointers handed out by FetchRaw are documented to live until the next
+  // PutRaw; recycle the pinned staging area before anything else.
+  pinned_.clear();
   CDPIPE_FAULT_POINT("chunk_store.put_raw");
   if (!raw_order_.empty() && chunk.id <= raw_order_.back()) {
     return Status::InvalidArgument(
@@ -67,20 +99,21 @@ Status ChunkStore::PutRaw(RawChunk chunk) {
   }
   raw_bytes_ += chunk.ByteSize();
   raw_order_.push_back(chunk.id);
+  memory_order_.push_back(chunk.id);
   raw_.emplace(chunk.id, std::move(chunk));
   ++counters_.raw_inserted;
   StoreMetrics::Get().raw_inserted->Increment();
   if (options_.max_raw_chunks > 0) {
     while (raw_order_.size() > options_.max_raw_chunks) DropOldestRaw();
   }
+  if (spilling_enabled()) MaybeSpillOverBudget();
   UpdateResidencyGauges();
   return Status::OK();
 }
 
 Status ChunkStore::PutFeatures(FeatureChunk chunk) {
   CDPIPE_FAULT_POINT("chunk_store.put_features");
-  auto raw_it = raw_.find(chunk.origin_id);
-  if (raw_it == raw_.end()) {
+  if (!Contains(chunk.origin_id)) {
     return Status::NotFound("no raw chunk with id " +
                             std::to_string(chunk.origin_id) +
                             " to attach features to");
@@ -130,6 +163,87 @@ const RawChunk* ChunkStore::GetRaw(ChunkId id) const {
   return it != raw_.end() ? &it->second : nullptr;
 }
 
+const RawChunk* ChunkStore::FetchRaw(ChunkId id) {
+  if (const RawChunk* in_memory = GetRaw(id)) return in_memory;
+  auto spill_it = spilled_.find(id);
+  if (spill_it == spilled_.end()) return nullptr;
+  const std::string path = spill_it->second.path;
+
+  // Prefer the prefetch stage: consume a staged load, or ride out one that
+  // is still in flight (still cheaper than starting over).
+  {
+    std::unique_lock<std::mutex> lock(tier_mu_);
+    auto slot_it = prefetched_.find(id);
+    if (slot_it != prefetched_.end()) {
+      tier_cv_.wait(lock, [&] {
+        return slot_it->second.state != PrefetchSlot::State::kLoading;
+      });
+      PrefetchSlot slot = std::move(slot_it->second);
+      prefetched_.erase(slot_it);
+      lock.unlock();
+      if (slot.state == PrefetchSlot::State::kReady) {
+        pinned_.push_back(std::move(slot.chunk));
+        ++counters_.prefetch_hits;
+        StoreMetrics::Get().prefetch_hits->Increment();
+        obs::EventJournal::Global().Append(
+            obs::EventKind::kPrefetchHit,
+            obs::CorrelationScope::WithEntity(id));
+        return pinned_.back().get();
+      }
+      // The worker already observed (and counted) the corruption; drop the
+      // chunk without a pointless second read.
+      if (slot.corrupt) {
+        DropSpilledChunk(id);
+        obs::EventJournal::Global().Append(
+            obs::EventKind::kDegrade, obs::CorrelationScope::WithEntity(id),
+            "spill_corrupt_dropped");
+        UpdateResidencyGauges();
+        return nullptr;
+      }
+      // Contained prefetch failure (injected exception, transient IO): fall
+      // through to the synchronous path below and try the disk directly.
+    }
+  }
+
+  Result<RawChunk> loaded = [&]() -> Result<RawChunk> {
+    std::optional<CostModel::ScopedTimer> scoped;
+    if (cost_ != nullptr) scoped.emplace(cost_, CostPhase::kDiskLoad);
+    // A throwing read (injected fault, filesystem surprise) degrades like
+    // any other read failure instead of unwinding the deployment loop.
+    try {
+      return ReadRawChunkSpill(path, id);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("disk load threw: ") + e.what());
+    }
+  }();
+  if (loaded.ok()) {
+    pinned_.push_back(std::make_unique<RawChunk>(std::move(loaded).value()));
+    ++counters_.disk_loads;
+    StoreMetrics::Get().disk_loads->Increment();
+    obs::EventJournal::Global().Append(
+        obs::EventKind::kDiskLoad, obs::CorrelationScope::WithEntity(id));
+    return pinned_.back().get();
+  }
+  if (loaded.status().code() == StatusCode::kInvalidArgument) {
+    // Corrupt or truncated file: this chunk's bytes are gone.  Drop it
+    // entirely (recompute-from-nothing) so the sampler stops seeing it.
+    corrupt_detected_.fetch_add(1, std::memory_order_relaxed);
+    StoreMetrics::Get().spill_corrupt->Increment();
+    DropSpilledChunk(id);
+    obs::EventJournal::Global().Append(
+        obs::EventKind::kDegrade, obs::CorrelationScope::WithEntity(id),
+        "spill_corrupt_dropped");
+    UpdateResidencyGauges();
+    return nullptr;
+  }
+  // Open/read failure: keep the chunk live and let the caller degrade —
+  // a later access retries the disk.
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kDegrade, obs::CorrelationScope::WithEntity(id),
+      "spill_read_failed");
+  return nullptr;
+}
+
 const FeatureChunk* ChunkStore::GetFeatures(ChunkId id) const {
   auto it = features_.find(id);
   return it != features_.end() ? &it->second : nullptr;
@@ -155,13 +269,98 @@ bool ChunkStore::Evict(ChunkId id) {
 
 void ChunkStore::RecordSampleAccess(ChunkId id) {
   if (IsMaterialized(id)) {
-    ++counters_.sample_hits;
+    if (IsSpilled(id)) {
+      ++counters_.disk_hits;
+      StoreMetrics::Get().disk_hits->Increment();
+    } else {
+      ++counters_.memory_hits;
+      StoreMetrics::Get().memory_hits->Increment();
+    }
     StoreMetrics::Get().sample_hits->Increment();
   } else {
     ++counters_.sample_misses;
     StoreMetrics::Get().sample_misses->Increment();
   }
-  StoreMetrics::Get().empirical_mu->Set(counters_.EmpiricalMu());
+  StoreMetrics::Get().empirical_mu->Set(counters().EmpiricalMu());
+}
+
+ChunkStore::Counters ChunkStore::counters() const {
+  Counters snapshot = counters_;
+  snapshot.spill_corrupt_detected =
+      corrupt_detected_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void ChunkStore::ResetCounters() {
+  counters_ = Counters{};
+  corrupt_detected_.store(0, std::memory_order_relaxed);
+  UpdateResidencyGauges();
+}
+
+void ChunkStore::DropStalePrefetches(const std::vector<ChunkId>& keep) {
+  std::lock_guard<std::mutex> lock(tier_mu_);
+  for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+    const bool wanted =
+        std::find(keep.begin(), keep.end(), it->first) != keep.end();
+    if (wanted || it->second.state == PrefetchSlot::State::kLoading) {
+      ++it;
+    } else {
+      it = prefetched_.erase(it);
+    }
+  }
+}
+
+std::optional<std::string> ChunkStore::BeginPrefetch(ChunkId id) {
+  auto spill_it = spilled_.find(id);
+  if (spill_it == spilled_.end()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(tier_mu_);
+  auto [slot_it, inserted] = prefetched_.try_emplace(id);
+  if (!inserted) return std::nullopt;  // already staged or in flight
+  slot_it->second.state = PrefetchSlot::State::kLoading;
+  return spill_it->second.path;
+}
+
+void ChunkStore::PrefetchLoad(ChunkId id, const std::string& path) {
+  std::unique_ptr<RawChunk> chunk;
+  Status status;
+  // A throwing fault rule on spill.read must not escape: an abandoned
+  // kLoading slot would deadlock the consumer.
+  try {
+    std::optional<CostModel::ScopedTimer> scoped;
+    if (cost_ != nullptr) scoped.emplace(cost_, CostPhase::kDiskLoad);
+    Result<RawChunk> loaded = ReadRawChunkSpill(path, id);
+    if (loaded.ok()) {
+      chunk = std::make_unique<RawChunk>(std::move(loaded).value());
+    } else {
+      status = loaded.status();
+    }
+  } catch (const std::exception& e) {
+    status = Status::Internal(std::string("prefetch threw: ") + e.what());
+  } catch (...) {
+    status = Status::Internal("prefetch threw a non-std exception");
+  }
+  const bool corrupt =
+      !status.ok() && status.code() == StatusCode::kInvalidArgument;
+  if (corrupt) {
+    corrupt_detected_.fetch_add(1, std::memory_order_relaxed);
+    StoreMetrics::Get().spill_corrupt->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(tier_mu_);
+    auto it = prefetched_.find(id);
+    if (it != prefetched_.end() &&
+        it->second.state == PrefetchSlot::State::kLoading) {
+      if (chunk != nullptr) {
+        it->second.state = PrefetchSlot::State::kReady;
+        it->second.chunk = std::move(chunk);
+      } else {
+        it->second.state = PrefetchSlot::State::kFailed;
+        it->second.status = status;
+        it->second.corrupt = corrupt;
+      }
+    }
+  }
+  tier_cv_.notify_all();
 }
 
 void ChunkStore::EvictOldestMaterialized() {
@@ -186,24 +385,104 @@ void ChunkStore::DropOldestRaw() {
   const ChunkId victim = raw_order_.front();
   raw_order_.pop_front();
   auto raw_it = raw_.find(victim);
-  CDPIPE_CHECK(raw_it != raw_.end());
-  raw_bytes_ -= raw_it->second.ByteSize();
-  raw_.erase(raw_it);
+  if (raw_it != raw_.end()) {
+    raw_bytes_ -= raw_it->second.ByteSize();
+    raw_.erase(raw_it);
+    // The memory tier is the newest suffix of the log, so an in-memory
+    // victim is necessarily the memory tier's oldest entry too.
+    CDPIPE_CHECK(!memory_order_.empty() && memory_order_.front() == victim);
+    memory_order_.pop_front();
+  } else {
+    auto spill_it = spilled_.find(victim);
+    CDPIPE_CHECK(spill_it != spilled_.end());
+    disk_bytes_ -= static_cast<size_t>(spill_it->second.file_bytes);
+    std::remove(spill_it->second.path.c_str());
+    spilled_.erase(spill_it);
+  }
   ++counters_.raw_dropped;
   StoreMetrics::Get().raw_dropped->Increment();
   obs::EventJournal::Global().Append(
       obs::EventKind::kEvict, obs::CorrelationScope::WithEntity(victim),
       "raw");
-  // A feature chunk must never outlive its raw chunk.
-  auto feat_it = features_.find(victim);
-  if (feat_it != features_.end()) {
-    feature_bytes_ -= feat_it->second.ByteSize();
-    features_.erase(feat_it);
-    auto pos = std::find(materialized_order_.begin(),
-                         materialized_order_.end(), victim);
-    CDPIPE_CHECK(pos != materialized_order_.end());
-    materialized_order_.erase(pos);
+  RemoveFeaturesFor(victim);
+}
+
+void ChunkStore::MaybeSpillOverBudget() {
+  // Spill coldest-first until the budget holds, but never the chunk that
+  // was just inserted: the deployment loop reads it back right away.
+  while (raw_bytes_ > options_.memory_budget_bytes &&
+         memory_order_.size() > 1) {
+    if (!SpillChunk(memory_order_.front())) break;
   }
+}
+
+bool ChunkStore::SpillChunk(ChunkId id) {
+  auto raw_it = raw_.find(id);
+  CDPIPE_CHECK(raw_it != raw_.end());
+  const std::string path = StrFormat("%s/chunk_%lld.spill",
+                                     options_.spill_dir.c_str(),
+                                     static_cast<long long>(id));
+  Result<SpillFileInfo> written = [&]() -> Result<SpillFileInfo> {
+    std::optional<CostModel::ScopedTimer> scoped;
+    if (cost_ != nullptr) scoped.emplace(cost_, CostPhase::kSpill);
+    return WriteRawChunkSpill(path, raw_it->second);
+  }();
+  if (!written.ok()) {
+    // Degrade to keep-in-memory: the budget stays exceeded until a later
+    // insert retries the spill.
+    ++counters_.spill_failures;
+    StoreMetrics::Get().spill_failures->Increment();
+    obs::EventJournal::Global().Append(
+        obs::EventKind::kDegrade, obs::CorrelationScope::WithEntity(id),
+        "spill_write_failed");
+    return false;
+  }
+  const size_t chunk_bytes = raw_it->second.ByteSize();
+  SpillEntry entry;
+  entry.path = path;
+  entry.file_bytes = written->bytes_written;
+  entry.raw_bytes = chunk_bytes;
+  spilled_.emplace(id, std::move(entry));
+  raw_bytes_ -= chunk_bytes;
+  disk_bytes_ += static_cast<size_t>(written->bytes_written);
+  raw_.erase(raw_it);
+  CDPIPE_CHECK(!memory_order_.empty() && memory_order_.front() == id);
+  memory_order_.pop_front();
+  ++counters_.chunks_spilled;
+  counters_.spill_bytes_written += written->bytes_written;
+  counters_.spill_raw_bytes += static_cast<int64_t>(chunk_bytes);
+  StoreMetrics::Get().chunks_spilled->Increment();
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kSpill, obs::CorrelationScope::WithEntity(id));
+  return true;
+}
+
+void ChunkStore::DropSpilledChunk(ChunkId id) {
+  auto spill_it = spilled_.find(id);
+  CDPIPE_CHECK(spill_it != spilled_.end());
+  disk_bytes_ -= static_cast<size_t>(spill_it->second.file_bytes);
+  std::remove(spill_it->second.path.c_str());
+  spilled_.erase(spill_it);
+  auto pos = std::find(raw_order_.begin(), raw_order_.end(), id);
+  CDPIPE_CHECK(pos != raw_order_.end());
+  raw_order_.erase(pos);
+  ++counters_.spilled_chunks_dropped;
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kEvict, obs::CorrelationScope::WithEntity(id),
+      "raw_corrupt");
+  RemoveFeaturesFor(id);
+}
+
+void ChunkStore::RemoveFeaturesFor(ChunkId id) {
+  // A feature chunk must never outlive its raw chunk.
+  auto feat_it = features_.find(id);
+  if (feat_it == features_.end()) return;
+  feature_bytes_ -= feat_it->second.ByteSize();
+  features_.erase(feat_it);
+  auto pos = std::find(materialized_order_.begin(),
+                       materialized_order_.end(), id);
+  CDPIPE_CHECK(pos != materialized_order_.end());
+  materialized_order_.erase(pos);
 }
 
 void ChunkStore::UpdateResidencyGauges() const {
@@ -213,6 +492,8 @@ void ChunkStore::UpdateResidencyGauges() const {
       static_cast<double>(materialized_order_.size()));
   metrics.raw_bytes->Set(static_cast<double>(raw_bytes_));
   metrics.feature_bytes->Set(static_cast<double>(feature_bytes_));
+  metrics.disk_bytes->Set(static_cast<double>(disk_bytes_));
+  metrics.spill_files->Set(static_cast<double>(spilled_.size()));
 }
 
 }  // namespace cdpipe

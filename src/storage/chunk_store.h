@@ -1,9 +1,14 @@
 #ifndef CDPIPE_STORAGE_CHUNK_STORE_H_
 #define CDPIPE_STORAGE_CHUNK_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +16,8 @@
 #include "src/dataframe/chunk.h"
 
 namespace cdpipe {
+
+class CostModel;
 
 /// The platform's storage unit (paper §3.2, §4.2): an append-only log of
 /// raw data chunks plus a bounded cache of materialized feature chunks.
@@ -25,8 +32,33 @@ namespace cdpipe {
 ///    (§3.2: "similar to cache eviction").
 ///  - A feature chunk's `origin_id` always refers to a live raw chunk.
 ///
+/// ## Two-tier raw storage
+///
+/// With `memory_budget_bytes` and `spill_dir` set, the raw log becomes two
+/// tiers: while `RawBytes()` exceeds the budget, the *coldest* in-memory
+/// raw chunks are encoded (storage/spill_file.h) and moved to per-chunk
+/// files on disk.  Spilled chunks stay fully live — sampleable, listed by
+/// `LiveIds()`, valid feature origins — the tier only changes where their
+/// bytes sit.  `GetRaw` answers from memory only; `FetchRaw` additionally
+/// loads from disk, preferring chunks staged by the async prefetcher.
+/// Because the in-memory set is always the newest suffix of the log, tier
+/// residency is a deterministic function of the insertion sequence, which
+/// is what makes the per-tier μ analysis in tests closed-form.
+///
+/// A spill-write failure degrades to keep-in-memory (the budget is
+/// temporarily exceeded, counted in `spill_failures`).  A corrupt spill
+/// file — checksum mismatch on load — is counted in
+/// `spill_corrupt_detected` and answered by dropping the chunk entirely
+/// (`spilled_chunks_dropped`): recompute-from-nothing, exactly as if the
+/// retention bound had dropped it.
+///
+/// Threading: the store is single-writer like before — every mutation runs
+/// on the owner's thread — except the prefetch staging area, which one
+/// background worker fills through `PrefetchLoad` under `tier_mu_`.
+///
 /// The store also keeps the hit/miss counters from which the empirical
-/// materialization utilization rate μ (§3.2.2) is computed.
+/// materialization utilization rate μ (§3.2.2) is computed, split by the
+/// tier the sampled chunk's raw bytes occupy.
 class ChunkStore {
  public:
   struct Options {
@@ -36,6 +68,12 @@ class ChunkStore {
     /// Maximum number of materialized feature chunks (m).  0 disables
     /// materialization entirely (materialization rate 0.0).
     size_t max_materialized_chunks = SIZE_MAX;
+    /// In-memory budget for the raw tier in bytes (0 = never spill).
+    /// Spilling requires `spill_dir` to be set as well.
+    size_t memory_budget_bytes = 0;
+    /// Directory for per-chunk spill files.  Must exist and be writable;
+    /// the store deletes its own files on drop and on destruction.
+    std::string spill_dir;
   };
 
   struct Counters {
@@ -47,26 +85,75 @@ class ChunkStore {
     /// insertions.
     int64_t features_rematerialized = 0;
     int64_t evictions = 0;
-    /// Sampled chunks that were materialized / had to be re-materialized.
-    int64_t sample_hits = 0;
+    /// Sampled chunks found materialized, split by where the chunk's raw
+    /// bytes live: `memory_hits` for memory-tier chunks, `disk_hits` for
+    /// spilled ones.  Their sum is the old `sample_hits`.
+    int64_t memory_hits = 0;
+    int64_t disk_hits = 0;
+    /// Sampled chunks that had to be re-materialized.
     int64_t sample_misses = 0;
 
+    // --- Disk-tier accounting. ---
+    int64_t chunks_spilled = 0;   ///< spill files written
+    int64_t spill_failures = 0;   ///< spill writes that degraded to memory
+    int64_t disk_loads = 0;       ///< synchronous loads from disk
+    int64_t prefetch_hits = 0;    ///< loads served by the prefetch stage
+    int64_t spill_corrupt_detected = 0;  ///< checksum/decode failures seen
+    int64_t spilled_chunks_dropped = 0;  ///< chunks dropped as corrupt
+    int64_t spill_bytes_written = 0;     ///< encoded bytes on disk
+    int64_t spill_raw_bytes = 0;         ///< in-memory bytes they replaced
+
+    /// Either-tier hits — the quantity μ is defined over.
+    int64_t SampleHits() const { return memory_hits + disk_hits; }
+
     double EmpiricalMu() const {
-      const int64_t total = sample_hits + sample_misses;
-      return total > 0 ? static_cast<double>(sample_hits) /
+      const int64_t total = SampleHits() + sample_misses;
+      return total > 0 ? static_cast<double>(SampleHits()) /
                              static_cast<double>(total)
                        : 0.0;
+    }
+    /// Per-tier μ; MemoryMu() + DiskMu() == EmpiricalMu().
+    double MemoryMu() const {
+      const int64_t total = SampleHits() + sample_misses;
+      return total > 0 ? static_cast<double>(memory_hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+    double DiskMu() const {
+      const int64_t total = SampleHits() + sample_misses;
+      return total > 0 ? static_cast<double>(disk_hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+    /// Fraction of disk-tier loads that the prefetcher had already staged.
+    double PrefetchHitRate() const {
+      const int64_t total = prefetch_hits + disk_loads;
+      return total > 0 ? static_cast<double>(prefetch_hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+    /// Encoded-to-raw byte ratio of everything spilled (< 1 = compression).
+    double SpillCompressionRatio() const {
+      return spill_raw_bytes > 0 ? static_cast<double>(spill_bytes_written) /
+                                       static_cast<double>(spill_raw_bytes)
+                                 : 0.0;
     }
   };
 
   ChunkStore() : ChunkStore(Options()) {}
   explicit ChunkStore(Options options);
+  /// Deletes this store's spill files.  The owner must stop the prefetch
+  /// worker first (Prefetcher's destructor drains it).
+  ~ChunkStore();
 
   ChunkStore(const ChunkStore&) = delete;
   ChunkStore& operator=(const ChunkStore&) = delete;
 
   /// Appends a raw chunk.  Ids must be strictly increasing (they are
-  /// creation timestamps).  May drop the oldest raw chunk when bounded.
+  /// creation timestamps).  May drop the oldest raw chunk when bounded and
+  /// spill cold chunks when over the memory budget.  Invalidates pointers
+  /// returned by earlier FetchRaw calls for *spilled* chunks (the pinned
+  /// staging area is recycled here); GetRaw pointers stay valid.
   Status PutRaw(RawChunk chunk);
 
   /// Stores the materialized features for an existing raw chunk; evicts the
@@ -77,15 +164,27 @@ class ChunkStore {
 
   size_t num_raw() const { return raw_order_.size(); }
   size_t num_materialized() const { return materialized_order_.size(); }
+  size_t num_spilled() const { return spilled_.size(); }
 
-  /// Ids of all live raw chunks, oldest first.
+  /// Ids of all live raw chunks (both tiers), oldest first.
   std::vector<ChunkId> LiveIds() const;
 
-  bool Contains(ChunkId id) const { return raw_.count(id) > 0; }
+  bool Contains(ChunkId id) const {
+    return raw_.count(id) > 0 || spilled_.count(id) > 0;
+  }
   bool IsMaterialized(ChunkId id) const { return features_.count(id) > 0; }
+  bool IsSpilled(ChunkId id) const { return spilled_.count(id) > 0; }
 
-  /// Null when the id is unknown (dropped or never inserted).
+  /// Null when the id is not resident in the memory tier (spilled, dropped,
+  /// or never inserted).  Never touches disk.
   const RawChunk* GetRaw(ChunkId id) const;
+  /// Like GetRaw, but loads spilled chunks from disk — from the prefetch
+  /// stage when the prefetcher got there first, synchronously otherwise.
+  /// The returned pointer stays valid until the next PutRaw.  Null when the
+  /// id is dead, when the spill file is corrupt (the chunk is then dropped
+  /// and counted), or when the read failed (the chunk stays live for a
+  /// later retry).
+  const RawChunk* FetchRaw(ChunkId id);
   /// Null when not materialized.
   const FeatureChunk* GetFeatures(ChunkId id) const;
 
@@ -98,18 +197,70 @@ class ChunkStore {
   /// Records the outcome of one sampling operation for the μ accounting.
   void RecordSampleAccess(ChunkId id);
 
-  const Counters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = Counters{}; }
+  /// Snapshot of the counters (by value: the corruption count is shared
+  /// with the prefetch worker).
+  Counters counters() const;
+  void ResetCounters();
 
-  /// Total bytes of live raw chunks / materialized feature chunks.
+  /// Bytes of raw chunks resident in the *memory* tier / materialized
+  /// feature chunks / encoded spill files on disk.
   size_t RawBytes() const { return raw_bytes_; }
   size_t MaterializedBytes() const { return feature_bytes_; }
+  size_t DiskBytes() const { return disk_bytes_; }
+
+  bool spilling_enabled() const {
+    return options_.memory_budget_bytes > 0 && !options_.spill_dir.empty();
+  }
+
+  /// Charges spill/disk-load wall time to `model` (unset = untimed).
+  void set_cost_model(CostModel* model) { cost_ = model; }
+
+  // --- Prefetch protocol (see storage/prefetcher.h). ---
+
+  /// Drops staged/failed prefetch slots that were never consumed and are
+  /// not in `keep` (the incoming lookahead window — their staged bytes are
+  /// about to be wanted).  In-flight loads always survive.  Called by the
+  /// prefetcher before scheduling a new window.
+  void DropStalePrefetches(const std::vector<ChunkId>& keep);
+  /// Owner thread: when `id` is spilled and not already staged or loading,
+  /// registers an in-flight slot and returns the file to load; nullopt
+  /// otherwise.
+  std::optional<std::string> BeginPrefetch(ChunkId id);
+  /// Prefetch worker: loads `path` and deposits the outcome into `id`'s
+  /// slot.  Never throws; a corrupt file is counted here (the consumer
+  /// drops the chunk without re-reading it).
+  void PrefetchLoad(ChunkId id, const std::string& path);
 
   const Options& options() const { return options_; }
 
  private:
+  /// Where a spilled chunk's bytes went and what they cost in memory.
+  struct SpillEntry {
+    std::string path;
+    int64_t file_bytes = 0;
+    size_t raw_bytes = 0;
+  };
+
+  /// One prefetched (or in-flight) disk load.
+  struct PrefetchSlot {
+    enum class State { kLoading, kReady, kFailed };
+    State state = State::kLoading;
+    std::unique_ptr<RawChunk> chunk;
+    Status status;
+    bool corrupt = false;
+  };
+
   void EvictOldestMaterialized();
   void DropOldestRaw();
+  /// Spills memory-tier chunks, coldest first, until the budget holds (or
+  /// only the newest chunk is left).  A failed write stops the pass.
+  void MaybeSpillOverBudget();
+  /// Writes `id`'s chunk to disk and moves it to the spill tier.  Returns
+  /// false on write failure (the chunk stays in memory).
+  bool SpillChunk(ChunkId id);
+  /// Removes a corrupt spilled chunk entirely: file, log entry, features.
+  void DropSpilledChunk(ChunkId id);
+  void RemoveFeaturesFor(ChunkId id);
   /// Mirrors residency (counts/bytes) into the global metrics gauges.
   void UpdateResidencyGauges() const;
 
@@ -118,10 +269,24 @@ class ChunkStore {
   std::unordered_map<ChunkId, RawChunk> raw_;
   std::unordered_map<ChunkId, FeatureChunk> features_;
   /// Insertion (== timestamp) order; fronts are oldest.
-  std::deque<ChunkId> raw_order_;
+  std::deque<ChunkId> raw_order_;         ///< both tiers
+  std::deque<ChunkId> memory_order_;      ///< memory tier only
   std::deque<ChunkId> materialized_order_;
+  std::unordered_map<ChunkId, SpillEntry> spilled_;
   size_t raw_bytes_ = 0;
   size_t feature_bytes_ = 0;
+  size_t disk_bytes_ = 0;
+  CostModel* cost_ = nullptr;
+
+  /// Disk loads pinned for the caller; recycled at the next PutRaw.
+  std::vector<std::unique_ptr<RawChunk>> pinned_;
+
+  /// Guards the prefetch staging area (the only state the worker touches).
+  mutable std::mutex tier_mu_;
+  std::condition_variable tier_cv_;
+  std::unordered_map<ChunkId, PrefetchSlot> prefetched_;
+  /// Corruption observations from either thread; composed into counters().
+  std::atomic<int64_t> corrupt_detected_{0};
 };
 
 }  // namespace cdpipe

@@ -1,0 +1,38 @@
+#include "src/storage/prefetcher.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/engine/execution_engine.h"
+#include "src/storage/chunk_store.h"
+
+namespace cdpipe {
+
+Prefetcher::Prefetcher(ChunkStore* store, ExecutionEngine* engine)
+    : store_(store), engine_(engine) {}
+
+Prefetcher::~Prefetcher() { Drain(); }
+
+void Prefetcher::Schedule(const std::vector<ChunkId>& ids) {
+  store_->DropStalePrefetches(ids);
+  for (const ChunkId id : ids) {
+    std::optional<std::string> path = store_->BeginPrefetch(id);
+    if (!path.has_value()) continue;
+    scheduled_.fetch_add(1, std::memory_order_relaxed);
+    ChunkStore* store = store_;
+    engine_->SubmitAsync([store, id, path = std::move(*path)] {
+      store->PrefetchLoad(id, path);
+    });
+  }
+}
+
+void Prefetcher::Drain() { engine_->DrainAsync(); }
+
+Prefetcher::Stats Prefetcher::stats() const {
+  Stats stats;
+  stats.scheduled = scheduled_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cdpipe

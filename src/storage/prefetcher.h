@@ -1,0 +1,65 @@
+#ifndef CDPIPE_STORAGE_PREFETCHER_H_
+#define CDPIPE_STORAGE_PREFETCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/dataframe/chunk.h"
+
+namespace cdpipe {
+
+class ChunkStore;
+class ExecutionEngine;
+
+/// Asynchronous disk-tier prefetcher.
+///
+/// The deployment loop knows which chunk ids the *next* proactive sample
+/// will draw — the seeded sampler is deterministic and `Rng` is copyable,
+/// so the upcoming picks can be computed on a clone without consuming
+/// entropy (see DataManager::PrefetchForNextSample).  `Schedule` registers
+/// those ids with the store and enqueues one load per spilled id on the
+/// engine's async lane; the loads overlap the SGD work between samples, so
+/// by the time the sampler actually asks, `FetchRaw` finds the bytes
+/// staged and the disk latency is hidden.
+///
+/// Prefetching is pure overlap: it never changes which chunks are sampled
+/// or what they decode to, only when the disk is read.  A prefetch failure
+/// (injected exception, IO error) is contained by the store's deposit
+/// protocol and the sample path falls back to a synchronous load.
+///
+/// Thread contract: Schedule runs on the store's owner thread; the loads
+/// run on the engine's single async worker.  The destructor drains the
+/// lane so no load can outlive the store this prefetcher points at —
+/// declare the Prefetcher after (destroy it before) its store and engine.
+class Prefetcher {
+ public:
+  struct Stats {
+    int64_t scheduled = 0;  ///< loads enqueued on the async lane
+  };
+
+  Prefetcher(ChunkStore* store, ExecutionEngine* engine);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Stages the spilled chunks among `ids`: drops stale staged loads from
+  /// the previous window, then enqueues one async load per spilled id that
+  /// is not already staged or in flight.  Memory-resident ids are ignored.
+  void Schedule(const std::vector<ChunkId>& ids);
+
+  /// Blocks until every enqueued load has deposited its outcome.
+  void Drain();
+
+  Stats stats() const;
+
+ private:
+  ChunkStore* store_;
+  ExecutionEngine* engine_;
+  std::atomic<int64_t> scheduled_{0};
+};
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_STORAGE_PREFETCHER_H_

@@ -1,0 +1,68 @@
+#ifndef CDPIPE_STORAGE_SPILL_FILE_H_
+#define CDPIPE_STORAGE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dataframe/chunk.h"
+#include "src/dataframe/column.h"
+
+namespace cdpipe {
+
+/// Per-chunk spill files for the chunk store's disk tier.
+///
+/// Format (all integers varint-coded unless noted):
+///
+///   "CDSPILL1"            8-byte magic
+///   chunk_id              zigzag varint
+///   event_time_seconds    zigzag varint
+///   num_columns           varint
+///   columns               column_codec encodings, back to back
+///   checksum              8-byte little-endian FNV-1a over everything above
+///
+/// Writes serialize fully in memory, land in `<path>.tmp`, and commit with
+/// an atomic rename — a crashed writer leaves either the old file or none,
+/// never a torn one (the PR 3 checkpoint idiom).  Reads verify the checksum
+/// against the raw bytes before decoding a single column.
+///
+/// Error taxonomy: `kIoError` for open/write/rename failures (the chunk
+/// store degrades to keep-in-memory), `kInvalidArgument` for anything wrong
+/// with the bytes themselves — bad magic, truncation, checksum mismatch,
+/// column decode failure — which the store treats as corruption and answers
+/// with drop-chunk accounting.
+///
+/// Fault sites: `spill.write` (fails/throws a write), `spill.read`
+/// (fails/throws a read), `spill.corrupt` (flips a payload bit in the read
+/// buffer so the checksum path detects it — one trigger, one detection).
+
+struct SpillFileInfo {
+  int64_t bytes_written = 0;  ///< final file size, checksum included
+};
+
+struct SpillContents {
+  int64_t chunk_id = 0;
+  int64_t event_time_seconds = 0;
+  std::vector<Column> columns;
+};
+
+/// Writes `columns` as a spill file at `path` (atomic tmp+rename).
+Result<SpillFileInfo> WriteSpillFile(const std::string& path,
+                                     int64_t chunk_id,
+                                     int64_t event_time_seconds,
+                                     const std::vector<Column>& columns);
+
+/// Reads and fully verifies a spill file.
+Result<SpillContents> ReadSpillFile(const std::string& path);
+
+/// Convenience wrappers for the raw-chunk tier: a RawChunk spills as a
+/// single string column of its records (bit-exact round trip — no parsing).
+Result<SpillFileInfo> WriteRawChunkSpill(const std::string& path,
+                                         const RawChunk& chunk);
+Result<RawChunk> ReadRawChunkSpill(const std::string& path,
+                                   ChunkId expected_id);
+
+}  // namespace cdpipe
+
+#endif  // CDPIPE_STORAGE_SPILL_FILE_H_

@@ -70,7 +70,7 @@ TEST(DataManagerTest, SampleSplitsByMaterialization) {
   for (const RawChunk* chunk : sample->to_rematerialize) {
     EXPECT_LT(chunk->id, 2);
   }
-  EXPECT_EQ(manager.store().counters().sample_hits, 2);
+  EXPECT_EQ(manager.store().counters().SampleHits(), 2);
   EXPECT_EQ(manager.store().counters().sample_misses, 2);
 }
 

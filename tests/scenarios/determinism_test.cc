@@ -29,7 +29,8 @@ void ExpectIdenticalReports(const DeploymentReport& a,
   EXPECT_EQ(a.chunks_processed, b.chunks_processed);
   EXPECT_EQ(a.proactive_iterations, b.proactive_iterations);
   EXPECT_EQ(a.storage.raw_inserted, b.storage.raw_inserted);
-  EXPECT_EQ(a.storage.sample_hits, b.storage.sample_hits);
+  EXPECT_EQ(a.storage.memory_hits, b.storage.memory_hits);
+  EXPECT_EQ(a.storage.disk_hits, b.storage.disk_hits);
   EXPECT_EQ(a.storage.sample_misses, b.storage.sample_misses);
   EXPECT_EQ(a.empirical_mu, b.empirical_mu);
   ASSERT_EQ(a.curve.size(), b.curve.size());

@@ -129,7 +129,7 @@ TEST_P(ChunkStoreFuzzTest, MatchesReferenceModel) {
   EXPECT_GE(counters.raw_inserted, static_cast<int64_t>(store.num_raw()));
   EXPECT_EQ(counters.raw_inserted - counters.raw_dropped,
             static_cast<int64_t>(store.num_raw()));
-  EXPECT_GE(counters.sample_hits + counters.sample_misses, 0);
+  EXPECT_GE(counters.SampleHits() + counters.sample_misses, 0);
   EXPECT_LE(counters.EmpiricalMu(), 1.0);
   EXPECT_GE(counters.EmpiricalMu(), 0.0);
 }

@@ -134,7 +134,9 @@ TEST(ChunkStoreTest, SampleAccessCountsHitsAndMisses) {
   store.RecordSampleAccess(0);
   store.RecordSampleAccess(1);
   store.RecordSampleAccess(1);
-  EXPECT_EQ(store.counters().sample_hits, 2);
+  EXPECT_EQ(store.counters().memory_hits, 2);
+  EXPECT_EQ(store.counters().disk_hits, 0);
+  EXPECT_EQ(store.counters().SampleHits(), 2);
   EXPECT_EQ(store.counters().sample_misses, 1);
   EXPECT_NEAR(store.counters().EmpiricalMu(), 2.0 / 3.0, 1e-12);
 }

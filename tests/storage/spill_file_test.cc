@@ -1,0 +1,241 @@
+// Spill-file container tests: atomic commit, checksum verification before
+// decode, and a corruption corpus (truncation, bit-flips, empty file) that
+// must always be detected as kInvalidArgument — never crash, never return
+// partially decoded contents.
+
+#include "src/storage/spill_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dataframe/column.h"
+#include "src/dataframe/value.h"
+#include "src/testing/fault_injector.h"
+
+namespace cdpipe {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpillFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cdpipe_spill_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void Dump(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+std::vector<Column> SampleColumns() {
+  Column doubles(ValueType::kDouble);
+  doubles.AppendDouble(3.25);
+  doubles.AppendNull();
+  Column strings(ValueType::kString);
+  strings.AppendString("2015-01-01 00:11:00,1.2,40.75");
+  strings.AppendString("2015-01-01 00:12:00,0.4,40.71");
+  return {std::move(doubles), std::move(strings)};
+}
+
+RawChunk SampleChunk(ChunkId id) {
+  RawChunk chunk;
+  chunk.id = id;
+  chunk.event_time_seconds = id * 600;
+  chunk.records = {"a,1,2", "b,3,4", "", "c with spaces,5,6"};
+  return chunk;
+}
+
+TEST_F(SpillFileTest, RoundTripPreservesHeaderAndColumns) {
+  const std::string path = Path("chunk_7.spill");
+  Result<SpillFileInfo> info =
+      WriteSpillFile(path, /*chunk_id=*/7, /*event_time_seconds=*/-3600,
+                     SampleColumns());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(static_cast<uint64_t>(info->bytes_written), fs::file_size(path));
+
+  Result<SpillContents> contents = ReadSpillFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->chunk_id, 7);
+  EXPECT_EQ(contents->event_time_seconds, -3600);
+  ASSERT_EQ(contents->columns.size(), 2u);
+  EXPECT_EQ(contents->columns[0].type(), ValueType::kDouble);
+  EXPECT_EQ(contents->columns[1].StringAt(0), "2015-01-01 00:11:00,1.2,40.75");
+  EXPECT_TRUE(contents->columns[0].IsNull(1));
+}
+
+TEST_F(SpillFileTest, RawChunkRoundTripIsExact) {
+  const RawChunk chunk = SampleChunk(12);
+  const std::string path = Path("chunk_12.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, chunk).ok());
+  Result<RawChunk> loaded = ReadRawChunkSpill(path, 12);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->id, chunk.id);
+  EXPECT_EQ(loaded->event_time_seconds, chunk.event_time_seconds);
+  EXPECT_EQ(loaded->records, chunk.records);
+}
+
+TEST_F(SpillFileTest, IdMismatchIsCorruption) {
+  const std::string path = Path("chunk_5.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(5)).ok());
+  Result<RawChunk> loaded = ReadRawChunkSpill(path, 6);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SpillFileTest, CommitIsAtomicNoTmpLeftBehind) {
+  const std::string path = Path("chunk_1.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(1)).ok());
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(SpillFileTest, RewriteReplacesAtomically) {
+  const std::string path = Path("chunk_2.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(2)).ok());
+  RawChunk updated = SampleChunk(2);
+  updated.records.push_back("late record");
+  ASSERT_TRUE(WriteRawChunkSpill(path, updated).ok());
+  Result<RawChunk> loaded = ReadRawChunkSpill(path, 2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records.size(), 5u);
+}
+
+TEST_F(SpillFileTest, MissingFileIsIoErrorNotCorruption) {
+  Result<SpillContents> contents = ReadSpillFile(Path("never_written.spill"));
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+}
+
+// --- Corruption corpus. ---
+
+TEST_F(SpillFileTest, EmptyFileIsCorrupt) {
+  const std::string path = Path("empty.spill");
+  Dump(path, "");
+  Result<SpillContents> contents = ReadSpillFile(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SpillFileTest, EveryTruncationIsDetected) {
+  const std::string path = Path("chunk_3.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(3)).ok());
+  const std::string bytes = Slurp(path);
+  ASSERT_GT(bytes.size(), 16u);
+  const std::string cut_path = Path("truncated.spill");
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Dump(cut_path, bytes.substr(0, cut));
+    Result<SpillContents> contents = ReadSpillFile(cut_path);
+    ASSERT_FALSE(contents.ok()) << "cut at " << cut << " of " << bytes.size();
+    EXPECT_EQ(contents.status().code(), StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(SpillFileTest, EverySingleBitFlipIsDetected) {
+  // The FNV-1a trailer covers every payload byte and the trailer itself is
+  // compared bit-for-bit, so *any* single-bit flip anywhere in the file
+  // must be detected.  This is the property the chunk store's drop-chunk
+  // accounting relies on.
+  const std::string path = Path("chunk_4.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(4)).ok());
+  const std::string bytes = Slurp(path);
+  const std::string flip_path = Path("flipped.spill");
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      Dump(flip_path, mutated);
+      Result<SpillContents> contents = ReadSpillFile(flip_path);
+      ASSERT_FALSE(contents.ok())
+          << "flip byte " << byte << " bit " << bit << " undetected";
+      EXPECT_EQ(contents.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST_F(SpillFileTest, TrailingGarbageIsDetected) {
+  const std::string path = Path("chunk_8.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(8)).ok());
+  Dump(path, Slurp(path) + "extra");
+  EXPECT_FALSE(ReadSpillFile(path).ok());
+}
+
+TEST_F(SpillFileTest, WrongMagicIsCorrupt) {
+  const std::string path = Path("chunk_9.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(9)).ok());
+  std::string bytes = Slurp(path);
+  bytes[0] = 'X';
+  Dump(path, bytes);
+  Result<SpillContents> contents = ReadSpillFile(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Fault sites. ---
+
+TEST_F(SpillFileTest, WriteFaultReturnsStatusAndWritesNothing) {
+  testing::ScopedFaultScript script(
+      {{"spill.write", testing::FaultRule::FirstN(1)}});
+  const std::string path = Path("faulted.spill");
+  Result<SpillFileInfo> info = WriteRawChunkSpill(path, SampleChunk(1));
+  EXPECT_FALSE(info.ok());
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(SpillFileTest, ReadFaultReturnsStatus) {
+  const std::string path = Path("chunk_6.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(6)).ok());
+  testing::ScopedFaultScript script(
+      {{"spill.read", testing::FaultRule::FirstN(1)}});
+  EXPECT_FALSE(ReadRawChunkSpill(path, 6).ok());
+  // The rule has been consumed; the next read succeeds.
+  EXPECT_TRUE(ReadRawChunkSpill(path, 6).ok());
+}
+
+TEST_F(SpillFileTest, CorruptFaultFlipsOneBitPerTrigger) {
+  const std::string path = Path("chunk_10.spill");
+  ASSERT_TRUE(WriteRawChunkSpill(path, SampleChunk(10)).ok());
+  testing::ScopedFaultScript script(
+      {{"spill.corrupt", testing::FaultRule::FirstN(1)}});
+  Result<RawChunk> loaded = ReadRawChunkSpill(path, 10);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(testing::FaultInjector::Global().StatsFor("spill.corrupt").triggers,
+            1);
+  // The file on disk is untouched — only the read buffer was corrupted.
+  EXPECT_TRUE(ReadRawChunkSpill(path, 10).ok());
+}
+
+}  // namespace
+}  // namespace cdpipe
