@@ -51,7 +51,11 @@ Status RetryWithBackoff(const RetryPolicy& policy, const char* op_name,
     if (backoff > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(
           std::min(backoff, policy.max_backoff_seconds)));
-      backoff *= policy.backoff_multiplier;
+      // Clamp the growth at the sleep cap: with large attempt counts an
+      // unbounded multiply overflows to inf (and the next std::min would
+      // still save the sleep, but the policy state itself goes non-finite).
+      backoff = std::min(backoff * policy.backoff_multiplier,
+                         policy.max_backoff_seconds);
     }
   }
   RetryMetrics::Get().exhausted->Increment();

@@ -50,7 +50,14 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
       obs::EventJournal::Global().Append(
           obs::EventKind::kDriftTrigger,
           StrFormat("error=%.4f", outcome.mean_error_signal).c_str());
-      CDPIPE_RETURN_NOT_OK(RunDriftBurst());
+      if (load_state() == LoadState::kNormal) {
+        CDPIPE_RETURN_NOT_OK(RunDriftBurst());
+      } else {
+        // Overload gating: a drift burst is the most expensive optional
+        // work there is — shed it first and keep draining the backlog.
+        // The detector stays reset so it can re-fire once load recovers.
+        trainer_.RecordDeferred(load_state());
+      }
       continuous_options_.drift_detector->Reset();
     }
   }
@@ -65,6 +72,15 @@ Status ContinuousDeployment::AfterChunk(size_t stream_index,
   }
 
   if (!ProactiveDue(stream_index, chunk)) return Status::OK();
+
+  // Overload gating: an iteration that comes due while the ingest queue is
+  // pressured or overloaded is deferred — online learning and serving keep
+  // running, the backlog drains first, and the next due iteration trains
+  // as usual once load returns to normal.
+  if (load_state() != LoadState::kNormal) {
+    trainer_.RecordDeferred(load_state());
+    return Status::OK();
+  }
 
   CDPIPE_TRACE_SPAN("deployment.proactive", "deployment");
   CDPIPE_ASSIGN_OR_RETURN(

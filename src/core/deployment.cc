@@ -1,8 +1,8 @@
 #include "src/core/deployment.h"
 
-#include <utility>
-
+#include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
@@ -131,7 +131,8 @@ void Deployment::AttachServing(serving::SnapshotPublisher* publisher,
 }
 
 Result<FeatureChunk> Deployment::RunOnlinePath(
-    const RawChunk& chunk, PrequentialEvaluator* evaluator) {
+    const RawChunk& chunk, PrequentialEvaluator* evaluator,
+    bool gate_publish) {
   if (serving_publisher_ == nullptr) {
     return pipeline_manager_->OnlineStep(chunk, evaluator,
                                          options_.online_learning);
@@ -147,7 +148,10 @@ Result<FeatureChunk> Deployment::RunOnlinePath(
   CDPIPE_TRACE_SPAN("pipeline.online_step", "pipeline");
   CDPIPE_ASSIGN_OR_RETURN(FeatureChunk features,
                           pipeline_manager_->PreprocessChunk(chunk));
-  pipeline_manager_->PublishSnapshot();
+  // Overload gating: keep serving from the previously published epoch
+  // instead of paying the per-chunk publish (the served evaluation then
+  // sees a model at most `publish_staleness_bound_chunks` chunks old).
+  if (!gate_publish) pipeline_manager_->PublishSnapshot();
   bool evaluated = false;
   if (serve_evaluation_ && evaluator != nullptr &&
       serving_service_ != nullptr) {
@@ -183,7 +187,166 @@ Result<FeatureChunk> Deployment::RunOnlinePath(
   return features;
 }
 
+/// Mutable per-replay bookkeeping threaded through ProcessStreamChunk.
+struct Deployment::RunState {
+  PrequentialEvaluator* evaluator = nullptr;
+  DeploymentReport* report = nullptr;
+  obs::Heartbeat* heartbeat = nullptr;
+  double sum_cumulative_error = 0.0;
+  int64_t previous_event_time = 0;
+  /// Chunks fully processed so far — the stream_index AfterChunk sees.
+  size_t processed = 0;
+  /// Chunks processed since a snapshot epoch was last published.
+  size_t chunks_since_publish = 0;
+  int64_t max_staleness_chunks = 0;
+  int64_t publish_skipped_overload = 0;
+  int64_t degraded_admit_skips = 0;
+};
+
+Status Deployment::ProcessStreamChunk(RunState* state, const RawChunk& chunk,
+                                      bool degraded_admit) {
+  obs::CorrelationScope chunk_scope(deployment_id_, chunk.id);
+  obs::Heartbeat::WorkScope work(state->heartbeat);
+  CDPIPE_TRACE_SPAN("deployment.chunk", "deployment");
+  Stopwatch chunk_watch;
+  // Overload publish gate: while the ingest queue is overloaded, skip this
+  // chunk's snapshot publishes — unless that would push the served model
+  // past the staleness bound K (a republish is forced every K-th chunk).
+  const bool gate_publish =
+      serving_publisher_ != nullptr &&
+      options_.publish_staleness_bound_chunks > 0 &&
+      load_state() == LoadState::kOverloaded &&
+      state->chunks_since_publish + 1 < options_.publish_staleness_bound_chunks;
+  // Ingest with retry; when a transient storage failure survives its
+  // retries, degrade: process the stream's copy of the chunk online so
+  // the quality curve stays continuous — the chunk is simply never
+  // available for proactive sampling.  Logic errors (duplicate ids)
+  // still abort.
+  const Status ingest_status =
+      RetryWithBackoff(options_.retry, "deployment.ingest",
+                       [&]() -> Status {
+                         return data_manager_.IngestChunk(chunk);
+                       });
+  const RawChunk* stored = nullptr;
+  if (ingest_status.ok()) {
+    // The store owns the canonical copy; process that one.
+    stored = data_manager_.store().GetRaw(chunk.id);
+    CDPIPE_CHECK(stored != nullptr);
+  } else if (options_.degrade_on_failure && IsRetryable(ingest_status)) {
+    DeploymentMetrics::Get().ingest_failed->Increment();
+    DeploymentMetrics::Get().degraded->Increment();
+    obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                       "ingest_failed");
+    CDPIPE_LOG(Warning) << "deployment: processing chunk " << chunk.id
+                        << " without storage after failed ingest: "
+                        << ingest_status.ToString();
+    stored = &chunk;
+  } else {
+    return ingest_status;
+  }
+
+  PrequentialEvaluator& evaluator = *state->evaluator;
+  const int64_t count_before = evaluator.Count();
+  const double mass_before = evaluator.AggregateMass();
+  const double prediction_seconds_before =
+      cost_.SecondsIn(CostPhase::kPrediction);
+  CDPIPE_ASSIGN_OR_RETURN(FeatureChunk features,
+                          RunOnlinePath(*stored, &evaluator, gate_publish));
+  if (ingest_status.ok() && !degraded_admit) {
+    // A transiently failed materialization degrades cleanly: the chunk
+    // stays unmaterialized and dynamic materialization rebuilds it on
+    // demand the first time proactive training samples it.
+    const Status store_status =
+        data_manager_.StoreFeatures(std::move(features));
+    if (!store_status.ok()) {
+      if (!options_.degrade_on_failure || !IsRetryable(store_status)) {
+        return store_status;
+      }
+      DeploymentMetrics::Get().store_features_failed->Increment();
+      DeploymentMetrics::Get().degraded->Increment();
+      obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                         "store_features_failed");
+      CDPIPE_LOG(Warning) << "deployment: chunk " << chunk.id
+                          << " left unmaterialized: "
+                          << store_status.ToString();
+    }
+  } else if (ingest_status.ok() && degraded_admit) {
+    // kDegrade admission under pressure: the raw chunk is stored, but its
+    // feature materialization is skipped to shed work — dynamic
+    // materialization rebuilds it if proactive training ever samples it.
+    state->degraded_admit_skips += 1;
+    obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
+                                       "degraded_admit_skip_materialize");
+  }
+
+  ChunkOutcome outcome;
+  outcome.rows = evaluator.Count() - count_before;
+  outcome.mean_error_signal =
+      outcome.rows > 0 ? (evaluator.AggregateMass() - mass_before) /
+                             static_cast<double>(outcome.rows)
+                       : 0.0;
+  outcome.prediction_seconds =
+      cost_.SecondsIn(CostPhase::kPrediction) - prediction_seconds_before;
+  outcome.event_period_seconds = static_cast<double>(
+      chunk.event_time_seconds - state->previous_event_time);
+  state->previous_event_time = chunk.event_time_seconds;
+  const uint64_t epoch_before_chunk =
+      serving_publisher_ != nullptr ? serving_publisher_->epoch() : 0;
+  CDPIPE_RETURN_NOT_OK(AfterChunk(state->processed, *stored, outcome));
+  if (serving_publisher_ != nullptr &&
+      serving_publisher_->epoch() == epoch_before_chunk) {
+    if (gate_publish) {
+      state->publish_skipped_overload += 1;
+    } else {
+      // The strategy hook did not publish (no proactive/retraining step
+      // this chunk): expose the post-online-SGD model before the next
+      // chunk arrives.  In serve-eval mode this is the cheap model-only
+      // republish (statistics unchanged since the mid-chunk publish).
+      pipeline_manager_->PublishSnapshot();
+    }
+  }
+  if (serving_publisher_ != nullptr) {
+    // Staleness accounting: in serve-eval mode the evaluation answered
+    // *before* any publish this chunk, so a gated chunk serves a model
+    // `chunks_since_publish + 1` chunks old.
+    if (gate_publish) {
+      state->chunks_since_publish += 1;
+      state->max_staleness_chunks =
+          std::max(state->max_staleness_chunks,
+                   static_cast<int64_t>(state->chunks_since_publish));
+    } else {
+      state->chunks_since_publish = 0;
+    }
+  }
+
+  DeploymentReport::PointRow row;
+  row.chunk_index = static_cast<int64_t>(state->processed);
+  row.observations = evaluator.Count();
+  row.cumulative_error = evaluator.CumulativeValue();
+  row.windowed_error = evaluator.WindowedValue();
+  row.cumulative_seconds = cost_.TotalSeconds();
+  row.cumulative_work = cost_.TotalWork();
+  state->report->curve.push_back(row);
+  state->sum_cumulative_error += row.cumulative_error;
+  state->processed += 1;
+  DeploymentMetrics::Get().chunks_processed->Increment();
+  DeploymentMetrics::Get().chunk_seconds->Observe(
+      chunk_watch.ElapsedSeconds());
+  return Status::OK();
+}
+
 Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
+  return RunImpl(stream, /*admission=*/nullptr);
+}
+
+Result<DeploymentReport> Deployment::RunShaped(
+    const std::vector<RawChunk>& stream, AdmissionController* admission) {
+  CDPIPE_CHECK(admission != nullptr);
+  return RunImpl(stream, admission);
+}
+
+Result<DeploymentReport> Deployment::RunImpl(
+    const std::vector<RawChunk>& stream, AdmissionController* admission) {
   obs::CorrelationScope run_scope(deployment_id_, /*entity=*/-1);
   CDPIPE_TRACE_SPAN("deployment.run", "deployment");
   obs::Heartbeat* heartbeat =
@@ -204,110 +367,74 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   // can arrive (requests against an empty publisher fail Unavailable).
   if (serving_publisher_ != nullptr) pipeline_manager_->PublishSnapshot();
 
-  double sum_cumulative_error = 0.0;
-  int64_t previous_event_time = stream.empty() ? 0 : stream[0].event_time_seconds;
-  for (size_t i = 0; i < stream.size(); ++i) {
-    const RawChunk& chunk = stream[i];
-    obs::CorrelationScope chunk_scope(deployment_id_, chunk.id);
-    obs::Heartbeat::WorkScope work(heartbeat);
-    CDPIPE_TRACE_SPAN("deployment.chunk", "deployment");
-    Stopwatch chunk_watch;
-    // Ingest with retry; when a transient storage failure survives its
-    // retries, degrade: process the stream's copy of the chunk online so
-    // the quality curve stays continuous — the chunk is simply never
-    // available for proactive sampling.  Logic errors (duplicate ids)
-    // still abort.
-    const Status ingest_status =
-        RetryWithBackoff(options_.retry, "deployment.ingest",
-                         [&]() -> Status {
-                           return data_manager_.IngestChunk(chunk);
-                         });
-    const RawChunk* stored = nullptr;
-    if (ingest_status.ok()) {
-      // The store owns the canonical copy; process that one.
-      stored = data_manager_.store().GetRaw(chunk.id);
-      CDPIPE_CHECK(stored != nullptr);
-    } else if (options_.degrade_on_failure && IsRetryable(ingest_status)) {
-      DeploymentMetrics::Get().ingest_failed->Increment();
-      DeploymentMetrics::Get().degraded->Increment();
-      obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
-                                         "ingest_failed");
-      CDPIPE_LOG(Warning) << "deployment: processing chunk " << chunk.id
-                          << " without storage after failed ingest: "
-                          << ingest_status.ToString();
-      stored = &chunk;
-    } else {
-      return ingest_status;
-    }
+  RunState state;
+  state.evaluator = &evaluator;
+  state.report = &report;
+  state.heartbeat = heartbeat;
+  state.previous_event_time =
+      stream.empty() ? 0 : stream[0].event_time_seconds;
 
-    const int64_t count_before = evaluator.Count();
-    const double mass_before = evaluator.AggregateMass();
-    const double prediction_seconds_before =
-        cost_.SecondsIn(CostPhase::kPrediction);
-    CDPIPE_ASSIGN_OR_RETURN(FeatureChunk features,
-                            RunOnlinePath(*stored, &evaluator));
-    if (ingest_status.ok()) {
-      // A transiently failed materialization degrades cleanly: the chunk
-      // stays unmaterialized and dynamic materialization rebuilds it on
-      // demand the first time proactive training samples it.
-      const Status store_status =
-          data_manager_.StoreFeatures(std::move(features));
-      if (!store_status.ok()) {
-        if (!options_.degrade_on_failure || !IsRetryable(store_status)) {
-          return store_status;
+  active_admission_ = admission;
+  Status replay_status = Status::OK();
+  if (admission == nullptr) {
+    for (const RawChunk& chunk : stream) {
+      replay_status = ProcessStreamChunk(&state, chunk, /*degraded_admit=*/false);
+      if (!replay_status.ok()) break;
+    }
+  } else {
+    // Virtual-time admission simulation: arrivals on the stream's event
+    // clock, one consumer draining `service_seconds_per_chunk` per chunk.
+    // The Run thread drives both sides, so every decision is a pure
+    // function of (arrival times, admission options) — reproducible at any
+    // engine thread count and unaffected by injected storage faults.
+    for (const RawChunk& next : stream) {
+      const double arrival = static_cast<double>(next.event_time_seconds);
+      // Process everything the consumer finished before this arrival.
+      while (replay_status.ok() && admission->HeadReadyAt(arrival)) {
+        AdmissionController::Admitted admitted = admission->Pop();
+        replay_status =
+            ProcessStreamChunk(&state, admitted.chunk, admitted.degraded);
+      }
+      if (!replay_status.ok()) break;
+      RawChunk arriving = next;  // Offer moves the chunk on admission
+      AdmissionController::Decision decision =
+          admission->Offer(&arriving, arrival);
+      if (decision == AdmissionController::Decision::kWouldBlock) {
+        // kBlock: wait (in virtual time) for queue slots, processing the
+        // chunks whose service completes meanwhile; shed once the next
+        // slot would free past the timeout deadline.
+        const double deadline =
+            arrival + admission->options().block_timeout_seconds;
+        while (decision == AdmissionController::Decision::kWouldBlock) {
+          const double head_done = admission->HeadCompletionSeconds();
+          if (head_done > deadline) {
+            admission->ShedBlocked(arriving.id);
+            break;
+          }
+          AdmissionController::Admitted admitted = admission->Pop();
+          replay_status =
+              ProcessStreamChunk(&state, admitted.chunk, admitted.degraded);
+          if (!replay_status.ok()) break;
+          decision = admission->Offer(&arriving, head_done);
         }
-        DeploymentMetrics::Get().store_features_failed->Increment();
-        DeploymentMetrics::Get().degraded->Increment();
-        obs::EventJournal::Global().Append(obs::EventKind::kDegrade,
-                                           "store_features_failed");
-        CDPIPE_LOG(Warning) << "deployment: chunk " << chunk.id
-                            << " left unmaterialized: "
-                            << store_status.ToString();
+        if (!replay_status.ok()) break;
       }
     }
-
-    ChunkOutcome outcome;
-    outcome.rows = evaluator.Count() - count_before;
-    outcome.mean_error_signal =
-        outcome.rows > 0 ? (evaluator.AggregateMass() - mass_before) /
-                               static_cast<double>(outcome.rows)
-                         : 0.0;
-    outcome.prediction_seconds =
-        cost_.SecondsIn(CostPhase::kPrediction) - prediction_seconds_before;
-    outcome.event_period_seconds = static_cast<double>(
-        chunk.event_time_seconds - previous_event_time);
-    previous_event_time = chunk.event_time_seconds;
-    const uint64_t epoch_before_hook =
-        serving_publisher_ != nullptr ? serving_publisher_->epoch() : 0;
-    CDPIPE_RETURN_NOT_OK(AfterChunk(i, *stored, outcome));
-    if (serving_publisher_ != nullptr &&
-        serving_publisher_->epoch() == epoch_before_hook) {
-      // The strategy hook did not publish (no proactive/retraining step
-      // this chunk): expose the post-online-SGD model before the next
-      // chunk arrives.  In serve-eval mode this is the cheap model-only
-      // republish (statistics unchanged since the mid-chunk publish).
-      pipeline_manager_->PublishSnapshot();
+    // End of stream: drain the backlog.
+    while (replay_status.ok() && !admission->empty()) {
+      AdmissionController::Admitted admitted = admission->Pop();
+      replay_status =
+          ProcessStreamChunk(&state, admitted.chunk, admitted.degraded);
     }
-
-    DeploymentReport::PointRow row;
-    row.chunk_index = static_cast<int64_t>(i);
-    row.observations = evaluator.Count();
-    row.cumulative_error = evaluator.CumulativeValue();
-    row.windowed_error = evaluator.WindowedValue();
-    row.cumulative_seconds = cost_.TotalSeconds();
-    row.cumulative_work = cost_.TotalWork();
-    report.curve.push_back(row);
-    sum_cumulative_error += row.cumulative_error;
-    DeploymentMetrics::Get().chunks_processed->Increment();
-    DeploymentMetrics::Get().chunk_seconds->Observe(
-        chunk_watch.ElapsedSeconds());
   }
+  active_admission_ = nullptr;
+  if (!replay_status.ok()) return replay_status;
 
   report.final_error = evaluator.CumulativeValue();
   report.average_error =
-      stream.empty() ? 0.0
-                     : sum_cumulative_error /
-                           static_cast<double>(stream.size());
+      state.processed == 0 ? 0.0
+                           : state.sum_cumulative_error /
+                                 static_cast<double>(state.processed);
   report.total_seconds = cost_.TotalSeconds();
   report.total_work = cost_.TotalWork();
   report.cost = cost_;
@@ -322,7 +449,7 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
   report.prefetch_hits = report.storage.prefetch_hits;
   report.spill_failures = report.storage.spill_failures;
   report.spill_corrupt_detected = report.storage.spill_corrupt_detected;
-  report.chunks_processed = static_cast<int64_t>(stream.size());
+  report.chunks_processed = static_cast<int64_t>(state.processed);
   report.initial_training_epochs = initial_training_epochs_;
   report.metrics = obs::MetricsSnapshot::Delta(
       metrics_before, obs::MetricsRegistry::Global().Snapshot());
@@ -344,6 +471,23 @@ Result<DeploymentReport> Deployment::Run(const std::vector<RawChunk>& stream) {
       report.metrics.CounterValueOr("serving.publishes", 0);
   report.serving_eval_fallbacks =
       report.metrics.CounterValueOr("serving.eval_fallbacks", 0);
+  report.serving_shed = report.metrics.CounterValueOr("serving.shed", 0);
+  report.proactive_deferred =
+      report.metrics.CounterValueOr("proactive.iterations_deferred", 0);
+  report.publish_skipped_overload = state.publish_skipped_overload;
+  report.max_snapshot_staleness_chunks = state.max_staleness_chunks;
+  if (admission != nullptr) {
+    const AdmissionController::Counters& ingest = admission->counters();
+    report.ingest_offered = ingest.offered;
+    report.ingest_admitted = ingest.admitted;
+    report.ingest_degraded_admits = ingest.degraded_admits;
+    report.ingest_shed = ingest.shed;
+    report.ingest_shed_oldest = ingest.shed_oldest;
+    report.ingest_shed_newest = ingest.shed_newest;
+    report.ingest_shed_timeout = ingest.shed_timeout;
+    report.ingest_pressure_changes = ingest.pressure_changes;
+    report.ingest_peak_queue_depth = ingest.peak_queue_depth;
+  }
   FillReport(&report);
   return report;
 }

@@ -8,6 +8,7 @@
 #include "src/common/retry.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/core/admission.h"
 #include "src/core/cost_model.h"
 #include "src/core/data_manager.h"
 #include "src/core/pipeline_manager.h"
@@ -62,6 +63,14 @@ class Deployment {
     /// (duplicate ids, schema mismatches) still abort.  Disabled, every
     /// failure propagates, matching the pre-robustness behavior.
     bool degrade_on_failure = true;
+    /// Staleness bound K for overload publish gating: while the ingest
+    /// admission controller reports kOverloaded, per-chunk snapshot
+    /// republishes are skipped — serving keeps answering from the last
+    /// epoch — but never for more than K-1 consecutive chunks, so the
+    /// served snapshot is at most K chunks old.  0 disables the gate
+    /// (publish every chunk regardless of load).  Inert without a serving
+    /// attachment or without RunShaped.
+    size_t publish_staleness_bound_chunks = 4;
   };
 
   Deployment(std::string strategy_name, Options options,
@@ -84,6 +93,20 @@ class Deployment {
   /// Replays the deployment stream and produces the report.  Cost counters
   /// and μ accounting start from zero at the beginning of the replay.
   Result<DeploymentReport> Run(const std::vector<RawChunk>& stream);
+
+  /// Replays the stream through a bounded admission queue: chunks arrive on
+  /// the stream's event clock (`event_time_seconds`, as written by the
+  /// traffic shaper), the consumer drains one chunk per
+  /// `admission->options().service_seconds_per_chunk` of that clock, and
+  /// `admission`'s policy decides what happens when the queue fills (shed
+  /// oldest/newest, block with timeout, degrade).  While the controller
+  /// reports pressure, proactive training defers and — with a serving
+  /// attachment — per-chunk republishes are gated by
+  /// `publish_staleness_bound_chunks`.  When the queue never fills the
+  /// replay is bit-identical to `Run` on the same stream.  `admission` is
+  /// borrowed for the duration of the call.
+  Result<DeploymentReport> RunShaped(const std::vector<RawChunk>& stream,
+                                     AdmissionController* admission);
 
   /// Attaches the serving tier (both pointers borrowed; nullptr detaches).
   /// Once attached, the deployment publishes a fresh snapshot epoch at the
@@ -142,17 +165,44 @@ class Deployment {
   Rng& rng() { return rng_; }
   const Options& options() const { return options_; }
 
+  /// Ingest load state seen by strategy hooks: the active admission
+  /// controller's state during RunShaped, kNormal otherwise.  Strategies use
+  /// it to defer optional work (proactive iterations, drift bursts) while
+  /// the ingest queue is backed up.
+  LoadState load_state() const {
+    return active_admission_ != nullptr ? active_admission_->state()
+                                        : LoadState::kNormal;
+  }
+
  public:
   /// Process-unique id assigned at construction (from 1), used as the
   /// `deployment` half of every correlation id this instance emits.
   uint32_t deployment_id() const { return deployment_id_; }
 
  private:
+  /// Mutable per-replay bookkeeping threaded through ProcessStreamChunk.
+  struct RunState;
+
   /// The per-chunk online path: OnlineStep when no serving tier is
   /// attached, otherwise the phased serve-then-train flow (preprocess →
-  /// publish → evaluate via the service → online SGD).
+  /// publish → evaluate via the service → online SGD).  `gate_publish`
+  /// suppresses the mid-chunk snapshot publish (overload gating) — the
+  /// serve-eval path then answers from the last published epoch.
   Result<FeatureChunk> RunOnlinePath(const RawChunk& chunk,
-                                     PrequentialEvaluator* evaluator);
+                                     PrequentialEvaluator* evaluator,
+                                     bool gate_publish);
+
+  /// One chunk of the shared replay protocol: ingest-with-retry, online
+  /// path, feature materialization (skipped for degraded admits), strategy
+  /// hook, publish cadence, report row.  Identical call sequence whether
+  /// invoked from the plain or the shaped replay loop.
+  Status ProcessStreamChunk(RunState* state, const RawChunk& chunk,
+                            bool degraded_admit);
+
+  /// Shared replay driver: plain in-order when `admission` is null,
+  /// otherwise the virtual-time admission simulation.
+  Result<DeploymentReport> RunImpl(const std::vector<RawChunk>& stream,
+                                   AdmissionController* admission);
 
   std::string strategy_name_;
   uint32_t deployment_id_;
@@ -172,6 +222,8 @@ class Deployment {
   /// Reader for the serve-eval path; owned here, used only by the Run
   /// thread (SnapshotReader is single-threaded by contract).
   std::unique_ptr<serving::SnapshotReader> serve_reader_;
+  /// Borrowed for the duration of RunShaped; null in a plain Run.
+  AdmissionController* active_admission_ = nullptr;
 };
 
 }  // namespace cdpipe

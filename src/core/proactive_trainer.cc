@@ -19,6 +19,7 @@ struct TrainerMetrics {
   obs::Counter* chunks_rematerialized;
   obs::Counter* chunks_skipped;
   obs::Counter* iterations_degraded;
+  obs::Counter* iterations_deferred;
   obs::Counter* rows_trained;
   obs::Histogram* iteration_seconds;
   obs::Histogram* rematerialize_seconds;
@@ -34,6 +35,9 @@ struct TrainerMetrics {
       m.chunks_skipped = registry.GetCounter("proactive.chunks_skipped");
       m.iterations_degraded =
           registry.GetCounter("proactive.iterations_degraded");
+      m.iterations_deferred = registry.GetCounter(
+          "proactive.iterations_deferred",
+          "Proactive iterations deferred while the ingest queue was loaded");
       m.rows_trained = registry.GetCounter("proactive.rows_trained");
       m.iteration_seconds =
           registry.GetHistogram("proactive.iteration_seconds");
@@ -200,6 +204,16 @@ Status ProactiveTrainer::RunIteration(const DataManager::SampleSet& sample) {
   metrics.rows_trained->Add(static_cast<int64_t>(batch.num_rows()));
   metrics.iteration_seconds->Observe(stats_.last_duration_seconds);
   return Status::OK();
+}
+
+void ProactiveTrainer::RecordDeferred(LoadState state) {
+  ++stats_.iterations_deferred;
+  TrainerMetrics::Get().iterations_deferred->Increment();
+  obs::EventJournal::Global().Append(
+      obs::EventKind::kDegrade,
+      StrFormat("proactive_deferred state=%s", LoadStateName(state)).c_str());
+  CDPIPE_LOG(Info) << "proactive training: iteration deferred, ingest "
+                   << LoadStateName(state);
 }
 
 }  // namespace cdpipe

@@ -5,6 +5,7 @@
 
 #include "src/common/retry.h"
 #include "src/common/status.h"
+#include "src/core/admission.h"
 #include "src/core/data_manager.h"
 #include "src/core/pipeline_manager.h"
 #include "src/engine/execution_engine.h"
@@ -43,6 +44,9 @@ class ProactiveTrainer {
     int64_t chunks_skipped = 0;
     /// Iterations whose SGD step was abandoned after retries.
     int64_t iterations_degraded = 0;
+    /// Iterations that came due while the ingest load state was not normal
+    /// and were deferred (overload gating — shed optional work first).
+    int64_t iterations_deferred = 0;
     double last_duration_seconds = 0.0;
     double total_duration_seconds = 0.0;
 
@@ -59,6 +63,10 @@ class ProactiveTrainer {
 
   /// One proactive iteration over an already-drawn sample.
   Status RunIteration(const DataManager::SampleSet& sample);
+
+  /// Records an iteration that came due but was deferred by overload gating
+  /// (`proactive.iterations_deferred`; journaled as a kDegrade event).
+  void RecordDeferred(LoadState state);
 
   const Stats& stats() const { return stats_; }
 

@@ -52,6 +52,27 @@ std::string DeploymentReport::Summary() const {
         static_cast<long long>(chunks_spilled), spill_compression_ratio,
         memory_mu, disk_mu, prefetch_hit_rate);
   }
+  if (ingest_offered > 0) {
+    out += StrFormat(
+        ", ingest offered=%lld shed=%lld (oldest=%lld newest=%lld "
+        "timeout=%lld) degraded_admits=%lld peak_queue=%lld, "
+        "proactive_deferred=%lld, publish_skipped=%lld "
+        "max_staleness=%lld chunks",
+        static_cast<long long>(ingest_offered),
+        static_cast<long long>(ingest_shed),
+        static_cast<long long>(ingest_shed_oldest),
+        static_cast<long long>(ingest_shed_newest),
+        static_cast<long long>(ingest_shed_timeout),
+        static_cast<long long>(ingest_degraded_admits),
+        static_cast<long long>(ingest_peak_queue_depth),
+        static_cast<long long>(proactive_deferred),
+        static_cast<long long>(publish_skipped_overload),
+        static_cast<long long>(max_snapshot_staleness_chunks));
+  }
+  if (serving_shed > 0) {
+    out += StrFormat(", serving_shed=%lld",
+                     static_cast<long long>(serving_shed));
+  }
   return out;
 }
 

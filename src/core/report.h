@@ -71,6 +71,33 @@ struct DeploymentReport {
   int64_t serving_stale_reads = 0;
   int64_t snapshot_publishes = 0;
   int64_t serving_eval_fallbacks = 0;
+  /// Prediction requests rejected by the serving front-end's bounded queue
+  /// (admission timeout).  The serving-side twin of `ingest_shed`.
+  int64_t serving_shed = 0;
+
+  /// Overload-resilience accounting (all zero in a plain Run — only
+  /// RunShaped attaches an AdmissionController).  The identities
+  /// `ingest_offered == ingest_admitted + ingest_shed_newest +
+  /// ingest_shed_timeout` and `chunks_processed == ingest_admitted -
+  /// ingest_shed_oldest` hold exactly; shed counts depend only on arrival
+  /// times and admission options, never on injected faults or threads.
+  int64_t ingest_offered = 0;
+  int64_t ingest_admitted = 0;
+  int64_t ingest_degraded_admits = 0;
+  int64_t ingest_shed = 0;
+  int64_t ingest_shed_oldest = 0;
+  int64_t ingest_shed_newest = 0;
+  int64_t ingest_shed_timeout = 0;
+  int64_t ingest_pressure_changes = 0;
+  int64_t ingest_peak_queue_depth = 0;
+  /// Proactive iterations deferred because the ingest load state was not
+  /// normal when they came due.
+  int64_t proactive_deferred = 0;
+  /// Per-chunk snapshot publishes skipped by the overload gate, and the
+  /// worst served-model staleness that gating caused (in chunks; bounded by
+  /// Options::publish_staleness_bound_chunks).
+  int64_t publish_skipped_overload = 0;
+  int64_t max_snapshot_staleness_chunks = 0;
 
   /// Two-tier storage accounting (all zero without a disk tier): μ split by
   /// the tier the sampled chunk's raw bytes occupied, the prefetcher's

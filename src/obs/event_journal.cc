@@ -103,6 +103,12 @@ const char* EventKindName(EventKind kind) {
       return "disk_load";
     case EventKind::kPrefetchHit:
       return "prefetch_hit";
+    case EventKind::kAdmit:
+      return "admit";
+    case EventKind::kShed:
+      return "shed";
+    case EventKind::kPressureChange:
+      return "pressure_change";
   }
   return "unknown";
 }

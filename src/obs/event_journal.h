@@ -36,6 +36,9 @@ enum class EventKind : uint8_t {
   kSpill,               ///< raw chunk written to the disk tier
   kDiskLoad,            ///< spilled chunk loaded synchronously
   kPrefetchHit,         ///< spilled chunk served from the prefetch stage
+  kAdmit,               ///< chunk admitted into a bounded ingest queue
+  kShed,                ///< chunk dropped by admission control (detail: why)
+  kPressureChange,      ///< ingest load state transitioned (detail: from->to)
 };
 
 /// Stable lowercase identifier ("ingest", "materialize_hit", ...).

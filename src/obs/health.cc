@@ -105,6 +105,26 @@ std::string HealthToJson(const std::vector<SubsystemHealth>& subsystems,
   return out;
 }
 
+std::string NotReadyReason(const std::vector<SubsystemHealth>& subsystems,
+                           bool ingest_overloaded) {
+  std::string out = "not ready:";
+  bool first = true;
+  for (const SubsystemHealth& s : subsystems) {
+    if (!s.stalled) continue;
+    out += StrFormat("%s stalled=%s (busy=%lld, silent %.1fs)",
+                     first ? "" : ";", s.name.c_str(),
+                     static_cast<long long>(s.busy), s.age_seconds);
+    first = false;
+  }
+  if (ingest_overloaded) {
+    out += StrFormat("%s ingest overloaded", first ? "" : ";");
+    first = false;
+  }
+  if (first) out += " unknown";
+  out += '\n';
+  return out;
+}
+
 Watchdog::Watchdog() : Watchdog(Options()) {}
 
 Watchdog::Watchdog(Options options) : options_(options) {

@@ -107,6 +107,14 @@ class HealthRegistry {
 std::string HealthToJson(const std::vector<SubsystemHealth>& subsystems,
                          bool ready);
 
+/// Plaintext body for a 503 /readyz: one `not ready:` line naming each
+/// stalled subsystem (with busy count and silence age) and, when
+/// `ingest_overloaded` is set, the ingest admission queue.  Readable from a
+/// probe log without a JSON parser:
+///   not ready: stalled=trainer (busy=1, silent 6.2s); ingest overloaded
+std::string NotReadyReason(const std::vector<SubsystemHealth>& subsystems,
+                           bool ingest_overloaded);
+
 /// Background stall detector.  Polls the health registry; when a busy
 /// subsystem goes silent past the deadline it flips readiness, emits an
 /// `obs.stall` journal event (detail: the subsystem name), increments the

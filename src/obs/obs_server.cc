@@ -227,9 +227,20 @@ std::string ObsServer::RouteGet(const std::string& path_and_query) {
       ready = true;
       for (const SubsystemHealth& s : subsystems) ready = ready && !s.stalled;
     }
-    return HttpResponse(ready ? 200 : 503,
-                        ready ? "OK" : "Service Unavailable",
-                        "application/json", HealthToJson(subsystems, ready));
+    // An overloaded ingest admission queue also flips readiness: load
+    // balancers should steer traffic away while the backlog drains.  The
+    // gauge is reset when the run's AdmissionController is destroyed.
+    const bool ingest_overloaded =
+        options_.metrics->GetGauge("ingest.load_state")->Value() >= 2.0;
+    if (ready && !ingest_overloaded) {
+      return HttpResponse(200, "OK", "application/json",
+                          HealthToJson(subsystems, true));
+    }
+    // 503 carries a short plaintext reason (which subsystem stalled, or
+    // overload) instead of the JSON body — probe logs capture one line.
+    return HttpResponse(503, "Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        NotReadyReason(subsystems, ingest_overloaded));
   }
   if (path == "/events") {
     const size_t n = ParseEventCount(query, options_.default_events);

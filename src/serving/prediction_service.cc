@@ -1,9 +1,11 @@
 #include "src/serving/prediction_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/obs/correlation.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -18,8 +20,10 @@ struct ServingMetrics {
   obs::Counter* requests;
   obs::Counter* records;
   obs::Counter* errors;
+  obs::Counter* shed;
   obs::Histogram* latency;
   obs::Gauge* queue_depth;
+  obs::Gauge* queue_high_watermark;
 };
 
 ServingMetrics& Metrics() {
@@ -32,10 +36,15 @@ ServingMetrics& Metrics() {
                                       "Rows scored by the serving tier");
     out.errors = registry.GetCounter(
         "serving.errors", "Prediction requests answered with an error");
+    out.shed = registry.GetCounter(
+        "serving.shed",
+        "Prediction requests dropped at a full queue (admission timeout)");
     out.latency = registry.GetHistogram("serving.latency_seconds", {},
                                         "Per-request serving latency");
     out.queue_depth =
         registry.GetGauge("serving.queue_depth", "Pending serving requests");
+    out.queue_high_watermark = registry.GetGauge(
+        "serving.queue_high_watermark", "Peak pending serving requests");
     return out;
   }();
   return m;
@@ -109,14 +118,35 @@ Result<PredictionService::Response> PredictionService::Predict(
   std::future<Result<Response>> future = pending->promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
+    const auto slot_free = [this] {
       return stopping_ || queue_.size() < options_.queue_capacity;
-    });
+    };
+    if (options_.admission_timeout_seconds < 0.0) {
+      not_full_.wait(lock, slot_free);
+    } else if (!not_full_.wait_for(
+                   lock,
+                   std::chrono::duration<double>(
+                       options_.admission_timeout_seconds),
+                   slot_free)) {
+      // Same shed vocabulary as the ingest queue: `serving.shed` counts
+      // requests dropped instead of queued, journaled as a kShed event.
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().shed->Increment();
+      lock.unlock();
+      obs::EventJournal::Global().Append(
+          obs::EventKind::kShed,
+          obs::CorrelationId{options_.deployment_id, pending->request_id},
+          "reason=serving_timeout");
+      return Status::Unavailable("prediction request shed: queue full");
+    }
     if (stopping_) {
       return Status::Unavailable("prediction service stopping");
     }
     queue_.push_back(std::move(pending));
+    queue_high_watermark_ = std::max(queue_high_watermark_, queue_.size());
     Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    Metrics().queue_high_watermark->Set(
+        static_cast<double>(queue_high_watermark_));
   }
   not_empty_.notify_one();
   return future.get();

@@ -45,6 +45,12 @@ class PredictionService {
     /// Bounded request queue: producers block when it is full (closed-loop
     /// backpressure, never unbounded memory).
     size_t queue_capacity = 64;
+    /// Admission timeout for a producer blocked on a full queue: after this
+    /// many wall seconds the request is shed (Unavailable, counted in
+    /// `serving.shed`) instead of waiting further — the serving-tier twin
+    /// of the ingest queue's block-with-timeout policy.  Negative = block
+    /// until a slot frees (the legacy closed-loop behavior).
+    double admission_timeout_seconds = -1.0;
     /// Execution mode for the snapshot transform (fused and interpreted
     /// are bit-identical; fused is the production default).
     ExecMode exec_mode = ExecMode::kFused;
@@ -111,6 +117,11 @@ class PredictionService {
   uint64_t request_errors() const {
     return request_errors_.load(std::memory_order_relaxed);
   }
+  /// Requests shed at a full queue after the admission timeout (these never
+  /// reach a worker and are not counted in requests_served).
+  uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
 
   const Options& options() const { return options_; }
 
@@ -141,6 +152,9 @@ class PredictionService {
   mutable std::atomic<int64_t> next_request_id_{0};
   mutable std::atomic<uint64_t> requests_served_{0};
   mutable std::atomic<uint64_t> request_errors_{0};
+  mutable std::atomic<uint64_t> requests_shed_{0};
+  /// Peak queue depth (guarded by mu_, exported as a gauge).
+  size_t queue_high_watermark_ = 0;
 };
 
 }  // namespace serving

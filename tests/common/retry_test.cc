@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "src/obs/metrics.h"
 #include "src/testing/fault_injector.h"
 
@@ -81,6 +83,67 @@ TEST(RetryTest, NonePolicyRunsExactlyOnce) {
       });
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ZeroMaxAttemptsClampsToSingleTry) {
+  // A misconfigured (or adversarially zeroed) budget still runs the op
+  // once: retry never silently swallows the operation itself.
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  int calls = 0;
+  const Status status =
+      RetryWithBackoff(policy, "test.op", [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("down");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+
+  policy.max_attempts = -5;
+  calls = 0;
+  EXPECT_TRUE(RetryWithBackoff(policy, "test.op", [&]() -> Status {
+                ++calls;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, LargeAttemptCountsKeepBackoffBounded) {
+  // 500 attempts with a 10x multiplier would push the raw geometric
+  // backoff to ~1e488 seconds (inf in double); the policy must clamp the
+  // growth at max_backoff so the total sleep stays attempts * max_backoff.
+  RetryPolicy policy;
+  policy.max_attempts = 500;
+  policy.initial_backoff_seconds = 1e-12;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 1e-6;
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status =
+      RetryWithBackoff(policy, "test.op", [&]() -> Status {
+        ++calls;
+        return Status::Unavailable("persistently down");
+      });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 500);
+  // Generous bound: 500 sleeps of <= 1us each, plus logging overhead —
+  // far below the seconds an unclamped overflow-to-inf sleep would take.
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 30.0);
+}
+
+TEST(RetryTest, ExhaustedStatusStaysRetryableForShedCallers) {
+  // The admission layer sheds work whose ingest retries exhaust; that
+  // decision keys off the returned code, so exhaustion must hand back the
+  // original transient code untouched (not remap it to Internal).
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  const Status status = RetryWithBackoff(
+      policy, "test.op",
+      []() -> Status { return Status::Unavailable("overloaded"); });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(status))
+      << "callers distinguish transient-exhausted from permanent failures";
 }
 
 TEST(RetryTest, RecoversFromInjectedFault) {

@@ -1,0 +1,110 @@
+#include "src/data/traffic_shape.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cdpipe {
+namespace {
+
+std::vector<int64_t> Gaps(const std::vector<int64_t>& arrivals) {
+  std::vector<int64_t> gaps;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  return gaps;
+}
+
+TEST(TrafficShapeTest, UniformShapeIsStrictlyPeriodic) {
+  TrafficShapeConfig config;
+  config.shape = TrafficShape::kUniform;
+  config.base_period_seconds = 60.0;
+  config.start_seconds = 120.0;
+  const std::vector<int64_t> arrivals = ShapedArrivalTimes(config, 10);
+  ASSERT_EQ(arrivals.size(), 10u);
+  EXPECT_EQ(arrivals.front(), 120);
+  for (int64_t gap : Gaps(arrivals)) EXPECT_EQ(gap, 60);
+}
+
+TEST(TrafficShapeTest, FlashCrowdCompressesPeriodicBursts) {
+  TrafficShapeConfig config;
+  config.shape = TrafficShape::kFlashCrowd;
+  config.base_period_seconds = 60.0;
+  config.burst_every = 8;
+  config.burst_length = 4;
+  config.burst_factor = 6.0;
+  const std::vector<int64_t> arrivals = ShapedArrivalTimes(config, 16);
+  const std::vector<int64_t> gaps = Gaps(arrivals);
+  // Gap i follows chunk i: positions 0..3 of each 8-cycle are in-burst.
+  for (size_t i = 0; i < gaps.size(); ++i) {
+    if (i % 8 < 4) {
+      EXPECT_EQ(gaps[i], 10) << "in-burst gap " << i;
+    } else {
+      EXPECT_EQ(gaps[i], 60) << "off-burst gap " << i;
+    }
+  }
+}
+
+TEST(TrafficShapeTest, SustainedOverloadScalesEveryGap) {
+  TrafficShapeConfig config;
+  config.shape = TrafficShape::kSustainedOverload;
+  config.base_period_seconds = 60.0;
+  config.overload_factor = 3.0;
+  const std::vector<int64_t> gaps = Gaps(ShapedArrivalTimes(config, 8));
+  for (int64_t gap : gaps) EXPECT_EQ(gap, 20);
+}
+
+TEST(TrafficShapeTest, DiurnalCurvePeaksMidPeriodAndRecovers) {
+  TrafficShapeConfig config;
+  config.shape = TrafficShape::kDiurnal;
+  config.base_period_seconds = 60.0;
+  config.diurnal_amplitude = 5.0;
+  config.diurnal_period_chunks = 12;
+  const std::vector<int64_t> gaps = Gaps(ShapedArrivalTimes(config, 14));
+  // Trough at phase 0 (rate 1x -> gap == base), peak at phase pi
+  // (chunk 6: rate 6x -> gap == 10).
+  EXPECT_EQ(gaps.front(), 60);
+  const int64_t min_gap = *std::min_element(gaps.begin(), gaps.end());
+  EXPECT_EQ(min_gap, 10);
+  EXPECT_EQ(gaps[6], 10);
+  // One full period later (chunk 12) the curve is back at the trough rate.
+  EXPECT_EQ(gaps[12], 60);
+}
+
+TEST(TrafficShapeTest, JitteredArrivalsAreSeededAndMonotonic) {
+  TrafficShapeConfig config;
+  config.shape = TrafficShape::kFlashCrowd;
+  config.base_period_seconds = 2.0;
+  config.burst_factor = 50.0;  // sub-second in-burst gaps stress rounding
+  config.jitter_fraction = 0.5;
+  config.seed = 99;
+  const std::vector<int64_t> first = ShapedArrivalTimes(config, 64);
+  const std::vector<int64_t> second = ShapedArrivalTimes(config, 64);
+  EXPECT_EQ(first, second) << "same seed must give identical arrivals";
+  for (int64_t gap : Gaps(first)) EXPECT_GE(gap, 0);
+
+  config.seed = 100;
+  EXPECT_NE(ShapedArrivalTimes(config, 64), first)
+      << "different seed must move the jitter";
+}
+
+TEST(TrafficShapeTest, ApplyRewritesOnlyEventTimes) {
+  std::vector<RawChunk> stream(3);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    stream[i].id = static_cast<ChunkId>(i + 7);
+    stream[i].event_time_seconds = 1000 + static_cast<int64_t>(i);
+    stream[i].records.push_back("+1 1:1");
+  }
+  TrafficShapeConfig config;
+  config.base_period_seconds = 5.0;
+  ApplyTrafficShape(config, &stream);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].event_time_seconds, static_cast<int64_t>(5 * i));
+    EXPECT_EQ(stream[i].id, static_cast<ChunkId>(i + 7));
+    EXPECT_EQ(stream[i].num_rows(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cdpipe

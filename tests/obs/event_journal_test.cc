@@ -214,6 +214,73 @@ TEST(EventJournalTest, MultiProducerWrapKeepsAccountingExact) {
   EXPECT_EQ(journal.Tail(kCapacity * 2).size(), kCapacity);
 }
 
+// Sustained producer overload: a tiny ring wrapped >1000 times by one
+// producer.  Drop-oldest must stay exact — the survivors are precisely the
+// newest `capacity` events, their sequence numbers a dense suffix with no
+// gaps, and everything else is accounted as dropped.
+TEST(EventJournalTest, SustainedOverloadManyWrapsKeepsDenseSeqSuffix) {
+  constexpr size_t kCapacity = 8;
+  constexpr int kAppends = 10000;  // 1250 full wraps
+  EventJournal journal(kCapacity);
+  for (int i = 0; i < kAppends; ++i) {
+    journal.Append(EventKind::kIngest, CorrelationId{1, i}, "overload");
+  }
+
+  EXPECT_EQ(journal.TotalAppended(), static_cast<uint64_t>(kAppends));
+  EXPECT_EQ(journal.TotalDropped(),
+            static_cast<uint64_t>(kAppends) - kCapacity);
+
+  const std::vector<JournalEvent> tail = journal.Tail(kCapacity * 2);
+  ASSERT_EQ(tail.size(), kCapacity);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    // Newest kCapacity events, oldest first: seqs (kAppends-7)..kAppends.
+    EXPECT_EQ(tail[i].seq, static_cast<uint64_t>(kAppends - kCapacity + 1 + i));
+    EXPECT_EQ(tail[i].corr.entity,
+              static_cast<int64_t>(kAppends - kCapacity + i));
+  }
+}
+
+// The multi-producer flavor of the same invariant: because drop-oldest
+// removes a prefix of the global append order, each producer's surviving
+// sequence numbers must form a contiguous ascending suffix — a gap would
+// mean an event was lost without being counted as dropped.
+TEST(EventJournalTest, SustainedMultiProducerOverloadHasNoSeqGaps) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  constexpr size_t kCapacity = 32;
+  EventJournal journal(kCapacity);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Append(EventKind::kIngest, "mp-overload");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const uint64_t appended = journal.TotalAppended();
+  EXPECT_EQ(appended, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(journal.TotalDropped(), appended - kCapacity);
+
+  const std::vector<JournalEvent> tail = journal.Tail(kCapacity);
+  ASSERT_EQ(tail.size(), kCapacity);
+  std::map<uint32_t, std::vector<uint64_t>> seqs_by_producer;
+  for (const JournalEvent& e : tail) {
+    seqs_by_producer[e.producer].push_back(e.seq);
+  }
+  for (const auto& [producer, seqs] : seqs_by_producer) {
+    for (size_t i = 1; i < seqs.size(); ++i) {
+      // Tail preserves append order, so per-producer seqs arrive ascending;
+      // density (no gap) is the lost-event detector.
+      ASSERT_EQ(seqs[i], seqs[i - 1] + 1)
+          << "seq gap for producer " << producer;
+    }
+  }
+}
+
 // Readers racing writers: Tail must only ever return fully published
 // events (never torn ones) and must not crash or hang.  Run under TSan.
 TEST(EventJournalTest, ConcurrentReadersSeeConsistentEvents) {

@@ -93,9 +93,34 @@ TEST_F(ObsServerTest, ReadyzReturns503WhenSubsystemStalls) {
       server.HandleRequest("GET /readyz HTTP/1.0\r\n\r\n");
   EXPECT_NE(readyz.find("503 Service Unavailable"), std::string::npos)
       << readyz;
-  EXPECT_NE(readyz.find("\"ready\":false"), std::string::npos);
-  EXPECT_NE(readyz.find("\"stalled\":true"), std::string::npos);
+  // The 503 body is a one-line plaintext reason naming the stalled
+  // subsystem — no JSON parser needed on the probe side.
+  EXPECT_NE(readyz.find("text/plain"), std::string::npos) << readyz;
+  EXPECT_NE(readyz.find("not ready:"), std::string::npos) << readyz;
+  EXPECT_NE(readyz.find("stalled=engine"), std::string::npos) << readyz;
+  EXPECT_NE(readyz.find("busy=1"), std::string::npos) << readyz;
+  EXPECT_EQ(readyz.find("\"ready\""), std::string::npos) << readyz;
   engine->EndWork();
+}
+
+TEST_F(ObsServerTest, ReadyzReturns503WhileIngestOverloaded) {
+  health_.GetHeartbeat("engine")->Beat();
+  metrics_.GetGauge("ingest.load_state")->Set(2.0);
+  ObsServer server(options_);
+  const std::string overloaded =
+      server.HandleRequest("GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(overloaded.find("503 Service Unavailable"), std::string::npos)
+      << overloaded;
+  EXPECT_NE(overloaded.find("ingest overloaded"), std::string::npos)
+      << overloaded;
+
+  // Back under the watermarks (or the controller destroyed): ready again,
+  // and the 200 body is the unchanged JSON shape.
+  metrics_.GetGauge("ingest.load_state")->Set(1.0);
+  const std::string recovered =
+      server.HandleRequest("GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(recovered.find("200 OK"), std::string::npos) << recovered;
+  EXPECT_NE(recovered.find("\"ready\":true"), std::string::npos) << recovered;
 }
 
 TEST_F(ObsServerTest, ReadyzFollowsAttachedWatchdog) {

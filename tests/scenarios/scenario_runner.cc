@@ -41,6 +41,8 @@ std::unique_ptr<ContinuousDeployment> MakeScenarioDeployment(
   options.engine_threads = scenario.engine_threads;
   options.retry = scenario.retry;
   options.degrade_on_failure = scenario.degrade_on_failure;
+  options.publish_staleness_bound_chunks =
+      scenario.publish_staleness_bound_chunks;
   ContinuousDeployment::ContinuousOptions continuous;
   continuous.proactive_every_chunks = scenario.proactive_every_chunks;
   continuous.sample_chunks = scenario.sample_chunks;
@@ -81,9 +83,13 @@ ScenarioResult RunScenario(const Scenario& scenario) {
     if (scenario.arm_injector) {
       script = std::make_unique<ScopedFaultScript>(scenario.faults);
     }
-    const std::vector<RawChunk> stream =
-        MakeScenarioStream(scenario.num_chunks);
-    Result<DeploymentReport> report = deployment.Run(stream);
+    std::vector<RawChunk> stream = MakeScenarioStream(scenario.num_chunks);
+    if (scenario.shaped) ApplyTrafficShape(scenario.traffic, &stream);
+    Result<DeploymentReport> report = [&]() -> Result<DeploymentReport> {
+      if (!scenario.shaped) return deployment.Run(stream);
+      AdmissionController admission(scenario.admission);
+      return deployment.RunShaped(stream, &admission);
+    }();
     if (scenario.attach_serving) service.Stop();
     if (!report.ok()) {
       result.status = report.status();

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "src/common/retry.h"
+#include "src/core/admission.h"
 #include "src/core/continuous_deployment.h"
 #include "src/core/report.h"
+#include "src/data/traffic_shape.h"
 #include "src/testing/fault_injector.h"
 
 namespace cdpipe {
@@ -41,6 +43,17 @@ struct Scenario {
   bool attach_serving = false;
   bool serve_evaluation = false;
   int serving_threads = 2;
+
+  /// Traffic shaping: when `shaped` is set, the stream's arrival times are
+  /// rewritten by `traffic` and the replay goes through
+  /// Deployment::RunShaped behind an AdmissionController built from
+  /// `admission`.  Everything stays deterministic: shapes and admission
+  /// decisions are pure functions of (configs, chunk index).
+  bool shaped = false;
+  TrafficShapeConfig traffic;
+  AdmissionController::Options admission;
+  /// Deployment::Options::publish_staleness_bound_chunks for the run.
+  size_t publish_staleness_bound_chunks = 4;
 };
 
 struct ScenarioResult {

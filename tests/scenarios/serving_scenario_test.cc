@@ -298,7 +298,11 @@ TEST(ServingScenarioTest, WedgedRequestLoopFlipsReadyz) {
   const std::string stalled_readyz =
       server.HandleRequest("GET /readyz HTTP/1.0\r\n\r\n");
   EXPECT_NE(stalled_readyz.find("503"), std::string::npos) << stalled_readyz;
-  EXPECT_NE(stalled_readyz.find("\"ready\":false"), std::string::npos);
+  // The 503 body is the plaintext reason, naming the wedged subsystem.
+  EXPECT_NE(stalled_readyz.find("not ready:"), std::string::npos)
+      << stalled_readyz;
+  EXPECT_NE(stalled_readyz.find("stalled=serving"), std::string::npos)
+      << stalled_readyz;
 
   client.join();
   // The delayed request completed (and beat): readiness restores.  The

@@ -158,6 +158,96 @@ TEST(PredictionServiceTest, ConcurrentClientsUnderTinyQueueAllAnswered) {
   service.Stop();
 }
 
+TEST(PredictionServiceTest, AdmissionTimeoutShedsInsteadOfBlocking) {
+  ServingFixture fixture = MakeServingFixture();
+  SnapshotPublisher publisher;
+  publisher.PublishFrom(*fixture.pipeline, *fixture.model);
+
+  PredictionService::Options options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  options.admission_timeout_seconds = 0.0;  // try-admit: full queue = shed
+  PredictionService service(&publisher, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  const int64_t shed_counter_before =
+      obs::MetricsRegistry::Global().GetCounter("serving.shed")->Value();
+  const std::vector<double> expected =
+      SerialScores(*fixture.pipeline, *fixture.model, fixture.probe);
+
+  // Hammer the single slot from four clients until someone is turned
+  // away.  Every response is either a full correct answer or an explicit
+  // Unavailable shed — never a hang, never a wrong score.
+  constexpr int kClients = 4;
+  constexpr int kMaxPerClient = 10000;
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kMaxPerClient; ++i) {
+        Result<PredictionService::Response> response =
+            service.Predict(fixture.probe);
+        if (response.ok()) {
+          ok_count.fetch_add(1);
+          if (response->scores != expected) wrong.fetch_add(1);
+        } else if (response.status().code() == StatusCode::kUnavailable) {
+          shed_count.fetch_add(1);
+        } else {
+          wrong.fetch_add(1);
+        }
+        if (shed_count.load() > 0 && i > 8) break;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Stop();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(service.requests_shed(), 0u);
+  // Unified backpressure accounting: the service-level counter, the
+  // serving.shed metric, and the observed rejections all agree.
+  EXPECT_EQ(service.requests_shed(), shed_count.load());
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("serving.shed")->Value() -
+          shed_counter_before,
+      static_cast<int64_t>(shed_count.load()));
+  EXPECT_GE(service.requests_served(), ok_count.load());
+  // Sheds are rejections, not errors.
+  EXPECT_EQ(service.request_errors(), 0u);
+}
+
+TEST(PredictionServiceTest, NegativeTimeoutPreservesBlockingBehavior) {
+  ServingFixture fixture = MakeServingFixture();
+  SnapshotPublisher publisher;
+  publisher.PublishFrom(*fixture.pipeline, *fixture.model);
+
+  PredictionService::Options options;
+  options.num_threads = 2;
+  options.queue_capacity = 1;
+  options.admission_timeout_seconds = -1.0;  // legacy: block until a slot
+  PredictionService service(&publisher, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 16;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        if (!service.Predict(fixture.probe).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.requests_shed(), 0u);
+}
+
 TEST(PredictionServiceTest, InjectedFaultIsCountedAsRequestError) {
   ServingFixture fixture = MakeServingFixture();
   SnapshotPublisher publisher;
@@ -190,6 +280,9 @@ TEST(PredictionServiceTest, ServingMetricsAreRegistered) {
   EXPECT_GE(snapshot.CounterValueOr("serving.stale_reads", -1), 0);
   EXPECT_GE(snapshot.CounterValueOr("serving.torn_reads", -1), 0);
   EXPECT_GE(snapshot.CounterValueOr("serving.publishes", -1), 0);
+  // Backpressure counters mirror the ingest-side naming scheme
+  // (ingest.shed / ingest.queue_depth / ingest.queue_high_watermark).
+  EXPECT_GE(snapshot.CounterValueOr("serving.shed", -1), 0);
 }
 
 }  // namespace
